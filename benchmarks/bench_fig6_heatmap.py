@@ -1,0 +1,36 @@
+"""Benchmark E-F6: regenerate the Fig. 6 hotspot heatmap on the CONV block."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.thermal import Floorplan, simulate_hotspot_attack
+
+
+def test_fig6_conv_block_hotspot_heatmap(benchmark):
+    """Two attacked banks with overdriven heaters on the paper-scale CONV block."""
+    config = AcceleratorConfig.paper_config()
+    geometry = config.conv_block
+    floorplan = Floorplan(num_banks=geometry.num_banks, banks_per_row=geometry.rows)
+    attacked = [650, 1260]  # two banks in different regions of the block
+
+    def run():
+        return simulate_hotspot_attack(floorplan, attacked_banks=attacked)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"Fig. 6: peak temperature rise {result.peak_rise_k:.1f} K "
+          f"(ambient {result.ambient_k:.0f} K)")
+    print(result.ascii_heatmap(width=72))
+    benchmark.extra_info["peak_rise_k"] = result.peak_rise_k
+    benchmark.extra_info["banks_above_5k"] = len(result.affected_banks(5.0))
+
+    # Qualitative shape: attacked banks are among the hottest banks (their
+    # exact rise depends on floorplan position) and the hotspot is localized
+    # (it does not cover the whole block).
+    rises = result.bank_temperature_rise_k
+    hottest = set(np.argsort(rises)[-5:].tolist())
+    assert set(attacked).issubset(hottest)
+    assert all(rises[b] > 10.0 for b in attacked)
+    assert len(result.affected_banks(5.0)) < geometry.num_banks / 4

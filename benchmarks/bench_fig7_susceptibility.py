@@ -1,0 +1,53 @@
+"""Benchmark E-F7: regenerate the Fig. 7 susceptibility series.
+
+The paper evaluates actuation and hotspot attacks at 1/5/10% intensity on the
+CONV block, the FC block and both blocks, with 10 random placements each, for
+the three CNN workloads.  The benchmark uses the same grid with fewer random
+placements so a full run stays laptop-sized; pass ``--placements`` through the
+``REPRO_FIG7_PLACEMENTS`` environment variable to raise it back to 10.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.reporting import format_fig7_table
+from repro.analysis.susceptibility import SusceptibilityConfig, SusceptibilityStudy
+
+_PLACEMENTS = int(os.environ.get("REPRO_FIG7_PLACEMENTS", "2"))
+
+
+@pytest.mark.parametrize("model_name", ["cnn_mnist", "resnet18", "vgg16_variant"])
+def test_fig7_susceptibility(benchmark, model_name, trained_workloads, accelerator_config):
+    """Attacked accuracy across the attack grid for one workload (one Fig. 7 panel)."""
+    model, split = trained_workloads[model_name]
+    config = SusceptibilityConfig(
+        model_names=(model_name,),
+        num_placements=_PLACEMENTS,
+        accelerator=accelerator_config,
+        seed=0,
+    )
+    study = SusceptibilityStudy(config)
+
+    def run():
+        return study.run(prepared={model_name: (model, split)})
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_fig7_table(result, model_name))
+
+    baseline = result.baselines[model_name]
+    benchmark.extra_info["baseline"] = baseline
+    benchmark.extra_info["worst_drop_hotspot"] = result.worst_case_drop(model_name, "hotspot")
+    benchmark.extra_info["worst_drop_actuation"] = result.worst_case_drop(model_name, "actuation")
+
+    # Paper-shape checks: accuracy degrades as the attacked fraction grows and
+    # hotspot attacks are at least as damaging as actuation attacks.
+    small = result.accuracies_for(model_name, fraction=0.01).mean()
+    large = result.accuracies_for(model_name, fraction=0.10).mean()
+    assert large <= small + 0.05
+    hotspot = result.accuracies_for(model_name, kind="hotspot", fraction=0.10).mean()
+    actuation = result.accuracies_for(model_name, kind="actuation", fraction=0.10).mean()
+    assert hotspot <= actuation + 0.05

@@ -1,0 +1,26 @@
+"""Benchmark E-T1: regenerate the paper's Table I (CNN model parameters)."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table1
+from repro.nn.models import table1_rows
+
+
+def test_table1_parameter_inventory(benchmark):
+    """Build the full-scale models and count their conv/FC parameters."""
+
+    def run():
+        return table1_rows(include_measured=True)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table1(rows))
+    for row in rows:
+        measured = row["measured_total_parameters"]
+        paper = row["paper_total_parameters"]
+        benchmark.extra_info[f"{row['model']}_measured_total"] = measured
+        benchmark.extra_info[f"{row['model']}_paper_total"] = paper
+    # The CNN_1 and VGG16_v inventories should match the paper closely.
+    by_model = {row["model"]: row for row in rows}
+    assert by_model["CNN_1"]["measured_total_parameters"] == 44_180
+    assert abs(by_model["VGG16_v"]["measured_total_parameters"] - 123_500_000) / 123_500_000 < 0.01

@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's artefacts (Table I, Figs. 6-9)
+or an ablation, using reduced-but-representative experiment settings so the
+whole suite completes on a laptop CPU.  Results (the reproduced table rows /
+figure series) are attached to the benchmark's ``extra_info`` so they appear
+in the pytest-benchmark report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.datasets import load_dataset, train_test_split
+from repro.nn import Trainer, TrainingConfig
+from repro.nn.models import build_model
+
+
+@pytest.fixture(scope="session")
+def accelerator_config():
+    """Accelerator configuration used across the benchmark experiments."""
+    return AcceleratorConfig.scaled_config()
+
+
+@pytest.fixture(scope="session")
+def trained_workloads():
+    """Trained scaled models + dataset splits for all three workloads."""
+    settings = {
+        "cnn_mnist": ("mnist", 500, {}, {}, 4),
+        "resnet18": ("cifar10", 350, {}, {}, 3),
+        "vgg16_variant": ("imagenette", 400, {"image_size": 48}, {"image_size": 48}, 4),
+    }
+    workloads = {}
+    for model_name, (dataset_name, samples, ds_kwargs, model_kwargs, epochs) in settings.items():
+        dataset = load_dataset(dataset_name, num_samples=samples, seed=0, **ds_kwargs)
+        split = train_test_split(dataset, 0.25, seed=1)
+        model = build_model(model_name, profile="scaled", rng=0, **model_kwargs)
+        Trainer(model, TrainingConfig(epochs=epochs, batch_size=32, lr=2e-3, seed=0)).fit(
+            split.train
+        )
+        workloads[model_name] = (model, split)
+    return workloads

@@ -1,0 +1,82 @@
+"""Tour of the HT attack surface and trojan trigger behaviour.
+
+Demonstrates the lower-level attack APIs that the experiment harnesses build
+on: hardware-trojan trigger modes, attack scenario generation, weight-mapping
+inspection (which model weights a compromised MR corrupts), and the corrupted
+weight statistics for each attack vector.
+
+Run with::
+
+    python examples/attack_surface_tour.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accelerator import AcceleratorConfig, ONNAccelerator
+from repro.attacks import (
+    ActuationAttack,
+    AttackSpec,
+    HardwareTrojan,
+    HotspotAttack,
+    TriggerMode,
+    corrupted_state_dict,
+    generate_scenarios,
+)
+from repro.nn.models import build_model
+
+
+def main() -> None:
+    # ------------------------------------------------------------ trojans
+    print("== Hardware-trojan trigger modes ==")
+    counting = HardwareTrojan(trigger_mode=TriggerMode.INFERENCE_COUNT, trigger_count=3)
+    for inference in range(1, 5):
+        counting.observe_inference()
+        print(f"  after {inference} inference(s): triggered={counting.triggered}")
+
+    # ------------------------------------------------------- scenario grid
+    print("\n== The paper's attack grid ==")
+    scenarios = generate_scenarios(num_placements=10)
+    print(f"  {len(scenarios)} placed scenarios "
+          f"(2 kinds x 3 blocks x 3 fractions x 10 placements)")
+    print(f"  example labels: {[s.label() for s in scenarios[:3]]}")
+
+    # --------------------------------------------------------- mapping view
+    print("\n== Which weights does one compromised MR corrupt? ==")
+    config = AcceleratorConfig.scaled_config()
+    model = build_model("cnn_mnist", profile="scaled", rng=0)
+    accelerator = ONNAccelerator(config)
+    mapping = accelerator.mapping_for(model)
+    report = accelerator.deployment_report(model)
+    print(f"  FC block mapping rounds: {report.fc_rounds} "
+          "(one trojan corrupts one weight per round)")
+    slot = 123
+    hosted = mapping.weights_on_slot("fc", slot)
+    print(f"  FC slot {slot} hosts {len(hosted)} weights:")
+    for name, index in hosted:
+        print(f"    {name}[{index}]")
+
+    # ------------------------------------------------------ corruption stats
+    print("\n== Corruption statistics at 5% attack intensity ==")
+    for label, attack in (
+        ("actuation", ActuationAttack(AttackSpec("actuation", "both", 0.05))),
+        ("hotspot", HotspotAttack(AttackSpec("hotspot", "both", 0.05))),
+    ):
+        outcome = attack.sample(config, seed=1)
+        corrupted = corrupted_state_dict(model, mapping, outcome)
+        clean = model.state_dict()
+        changed = 0
+        total = 0
+        magnitude_change = 0.0
+        for mapped in mapping.parameters:
+            diff = np.abs(corrupted[mapped.name] - clean[mapped.name])
+            changed += int(np.count_nonzero(diff > 1e-7))
+            magnitude_change += float(diff.sum())
+            total += diff.size
+        print(f"  {label:10s}: {changed / total:6.2%} of mapped weights changed, "
+              f"mean |delta| over changed weights = {magnitude_change / max(changed, 1):.4f}")
+
+
+if __name__ == "__main__":
+    main()

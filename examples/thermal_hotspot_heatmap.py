@@ -1,0 +1,57 @@
+"""Thermal hotspot heatmap example (paper Fig. 6).
+
+Simulates HT-overdriven heaters in two MR banks of the paper-scale CONV block
+(100 VDP units x 20 banks), solves the steady-state temperature field with
+the grid thermal solver (the HotSpot substitute) and renders an ASCII heatmap
+plus the list of collaterally heated neighbour banks.
+
+Run with::
+
+    python examples/thermal_hotspot_heatmap.py
+    python examples/thermal_hotspot_heatmap.py --banks 120 980 --heater-mw 400
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.photonics.thermal_sensitivity import ThermalSensitivity
+from repro.thermal import Floorplan, simulate_hotspot_attack
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--banks", type=int, nargs="+", default=[650, 1260],
+                        help="bank indices whose heaters the trojan overdrives")
+    parser.add_argument("--heater-mw", type=float, default=300.0,
+                        help="extra heater power per attacked bank [mW]")
+    args = parser.parse_args()
+
+    config = AcceleratorConfig.paper_config()
+    geometry = config.conv_block
+    floorplan = Floorplan(num_banks=geometry.num_banks, banks_per_row=geometry.rows)
+    print(f"CONV block: {geometry.num_units} VDP units x {geometry.rows} banks "
+          f"x {geometry.cols} MRs = {geometry.capacity} weight MRs")
+    print(f"Attacking banks {args.banks} with {args.heater_mw:.0f} mW of trojan heater power...")
+
+    result = simulate_hotspot_attack(
+        floorplan, attacked_banks=args.banks, heater_power_mw=args.heater_mw
+    )
+    print(f"\nPeak temperature rise: {result.peak_rise_k:.1f} K above the "
+          f"{result.ambient_k:.0f} K operating point")
+
+    sensitivity = ThermalSensitivity()
+    print("\nPer-bank impact (banks above 5 K rise):")
+    for bank in result.affected_banks(5.0):
+        rise = result.bank_temperature_rise_k[bank]
+        shift = sensitivity.resonance_shift_nm(1550.0, rise)
+        tag = "ATTACKED" if bank in result.attacked_banks else "neighbour"
+        print(f"  bank {bank:5d}: +{rise:5.1f} K -> resonance shift {shift:.2f} nm ({tag})")
+
+    print("\nTemperature heatmap of the CONV block (brighter = hotter):")
+    print(result.ascii_heatmap(width=78))
+
+
+if __name__ == "__main__":
+    main()

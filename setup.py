@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that legacy editable installs
+(``pip install -e . --no-use-pep517``) work in offline environments whose
+setuptools/wheel combination cannot build PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""SafeLight reproduction library.
+
+This package reproduces the system described in *"SafeLight: Enhancing
+Security in Optical Convolutional Neural Network Accelerators"* (DATE 2025):
+
+* ``repro.nn`` — a from-scratch NumPy deep-learning framework used to train
+  and evaluate the CNN workloads (CNN_1 / ResNet18 / VGG16 variant).
+* ``repro.datasets`` — deterministic synthetic stand-ins for MNIST, CIFAR-10
+  and Imagenette.
+* ``repro.photonics`` — device-level models of microring resonators (MRs),
+  tuning circuits, waveguides, photodetectors and data converters.
+* ``repro.thermal`` — a steady-state thermal grid solver used in place of the
+  HotSpot tool to model thermal hotspot attacks.
+* ``repro.accelerator`` — the CrossLight-style non-coherent optical CNN
+  accelerator (CONV/FC blocks of VDP units) with weight-stationary mapping
+  and attacked-inference execution.
+* ``repro.attacks`` — hardware-trojan actuation and thermal hotspot attack
+  models and attack scenario generation.
+* ``repro.mitigation`` — L2 regularization and Gaussian noise-aware training
+  producing the robust model variants.
+* ``repro.analysis`` — the experiment harness that regenerates the paper's
+  Table I and Figures 6-9.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,102 @@
+"""User-facing facade for the optical CNN accelerator.
+
+:class:`ONNAccelerator` ties together the configuration, the weight-stationary
+mapping, the attacked-inference engine and the power model, mirroring the
+architecture diagram of the paper's Fig. 3 (photonic CONV/FC blocks, DAC/ADC
+arrays, electronic control).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.inference import AttackedInferenceEngine
+from repro.accelerator.mapping import WeightMapping
+from repro.accelerator.power import PowerModel, PowerReport
+from repro.nn.module import Module
+
+__all__ = ["ONNAccelerator", "DeploymentReport"]
+
+
+@dataclass(frozen=True)
+class DeploymentReport:
+    """Summary of mapping a model onto the accelerator."""
+
+    model_name: str
+    config_name: str
+    conv_weights: int
+    fc_weights: int
+    conv_rounds: int
+    fc_rounds: int
+    conv_utilization: float
+    fc_utilization: float
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "model": self.model_name,
+            "config": self.config_name,
+            "conv_weights": self.conv_weights,
+            "fc_weights": self.fc_weights,
+            "conv_rounds": self.conv_rounds,
+            "fc_rounds": self.fc_rounds,
+            "conv_utilization": self.conv_utilization,
+            "fc_utilization": self.fc_utilization,
+        }
+
+
+class ONNAccelerator:
+    """The non-coherent optical CNN accelerator (CrossLight-style).
+
+    Parameters
+    ----------
+    config:
+        Block geometries and device parameters; defaults to the paper
+        configuration (CONV 100x20x20, FC 60x150x150).
+
+    Example
+    -------
+    >>> accelerator = ONNAccelerator(AcceleratorConfig.scaled_config())
+    >>> engine = accelerator.deploy(model)
+    >>> engine.clean_accuracy(test_set)
+    """
+
+    def __init__(self, config: AcceleratorConfig | None = None):
+        self.config = config or AcceleratorConfig.paper_config()
+        self.power_model = PowerModel(self.config)
+
+    def deploy(
+        self,
+        model: Module,
+        quantize_weights: bool = True,
+        batch_size: int = 64,
+    ) -> AttackedInferenceEngine:
+        """Map ``model`` onto the accelerator and return its inference engine."""
+        return AttackedInferenceEngine(
+            model,
+            config=self.config,
+            quantize_weights=quantize_weights,
+            batch_size=batch_size,
+        )
+
+    def mapping_for(self, model: Module) -> WeightMapping:
+        """Weight-stationary mapping of ``model`` (without touching its weights)."""
+        return WeightMapping(model, self.config)
+
+    def deployment_report(self, model: Module) -> DeploymentReport:
+        """Describe how ``model`` occupies the accelerator."""
+        mapping = self.mapping_for(model)
+        return DeploymentReport(
+            model_name=getattr(model, "name", type(model).__name__),
+            config_name=self.config.name,
+            conv_weights=mapping.total_weights("conv"),
+            fc_weights=mapping.total_weights("fc"),
+            conv_rounds=mapping.mapping_rounds("conv"),
+            fc_rounds=mapping.mapping_rounds("fc"),
+            conv_utilization=mapping.utilization("conv"),
+            fc_utilization=mapping.utilization("fc"),
+        )
+
+    def power_report(self) -> PowerReport:
+        """Static power/latency estimate of the accelerator hardware."""
+        return self.power_model.report()

@@ -1,0 +1,78 @@
+"""Coordinate helpers for MR slots within an accelerator block.
+
+A *slot* is a flat index into the weight-bank MRs of one block, ordered as
+``unit -> bank row -> column``.  These helpers convert between flat slot
+indices and structured coordinates, and between slots and bank indices; the
+attack models and the mapping both speak in these terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accelerator.config import BlockGeometry
+from repro.utils.validation import ValidationError
+
+__all__ = ["MRCoordinate", "BankCoordinate", "slot_to_coordinate", "coordinate_to_slot",
+           "slots_of_bank", "bank_of_slot"]
+
+
+@dataclass(frozen=True)
+class MRCoordinate:
+    """Structured position of one MR inside a block."""
+
+    unit: int
+    row: int
+    col: int
+
+
+@dataclass(frozen=True)
+class BankCoordinate:
+    """Structured position of one MR bank inside a block."""
+
+    unit: int
+    row: int
+
+    @property
+    def flat_index(self) -> int:
+        """Flat bank index given later by :func:`bank_of_slot` conventions."""
+        raise NotImplementedError("use bank_flat_index(geometry) instead")
+
+    def bank_flat_index(self, geometry: BlockGeometry) -> int:
+        """Flat bank index within the block."""
+        return self.unit * geometry.rows + self.row
+
+
+def slot_to_coordinate(slot: int, geometry: BlockGeometry) -> MRCoordinate:
+    """Convert a flat slot index to ``(unit, row, col)``."""
+    if not 0 <= slot < geometry.capacity:
+        raise ValidationError(f"slot {slot} outside block capacity {geometry.capacity}")
+    unit = slot // geometry.mrs_per_unit
+    within = slot % geometry.mrs_per_unit
+    return MRCoordinate(unit=unit, row=within // geometry.cols, col=within % geometry.cols)
+
+
+def coordinate_to_slot(coord: MRCoordinate, geometry: BlockGeometry) -> int:
+    """Convert a structured coordinate back to a flat slot index."""
+    if not (0 <= coord.unit < geometry.num_units
+            and 0 <= coord.row < geometry.rows
+            and 0 <= coord.col < geometry.cols):
+        raise ValidationError(f"coordinate {coord} outside geometry {geometry}")
+    return coord.unit * geometry.mrs_per_unit + coord.row * geometry.cols + coord.col
+
+
+def bank_of_slot(slots: np.ndarray | int, geometry: BlockGeometry) -> np.ndarray | int:
+    """Flat bank index of each slot (slots // cols)."""
+    return np.asarray(slots) // geometry.cols if not np.isscalar(slots) else int(slots) // geometry.cols
+
+
+def slots_of_bank(bank_index: int, geometry: BlockGeometry) -> np.ndarray:
+    """All slot indices belonging to a flat bank index."""
+    if not 0 <= bank_index < geometry.num_banks:
+        raise ValidationError(
+            f"bank {bank_index} outside block with {geometry.num_banks} banks"
+        )
+    start = bank_index * geometry.cols
+    return np.arange(start, start + geometry.cols)

@@ -1,0 +1,147 @@
+"""Accelerator configuration: block geometries and device parameters.
+
+The paper's evaluation uses the CrossLight-derived configuration:
+
+* CONV block — ``m = 100`` VDP units, each ``20 x 20`` MRs;
+* FC block — ``n = 60`` VDP units, each ``150 x 150`` MRs.
+
+A proportionally reduced ``scaled`` configuration is provided for the
+CPU-scale experiments so that the *utilization behaviour* (several mapping
+rounds for the larger workloads) is preserved with the scaled CNN models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.photonics import constants
+from repro.utils.validation import check_in_choices, check_positive, check_positive_int
+
+__all__ = ["BlockGeometry", "AcceleratorConfig"]
+
+
+@dataclass(frozen=True)
+class BlockGeometry:
+    """Geometry of one accelerator block (CONV or FC).
+
+    Attributes
+    ----------
+    num_units:
+        Number of VDP units in the block.
+    rows:
+        MR banks per VDP unit.
+    cols:
+        MRs per bank (also the number of WDM carriers per waveguide).
+    """
+
+    num_units: int
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_units, "num_units")
+        check_positive_int(self.rows, "rows")
+        check_positive_int(self.cols, "cols")
+
+    @property
+    def mrs_per_unit(self) -> int:
+        """Weight-bank MRs per VDP unit."""
+        return self.rows * self.cols
+
+    @property
+    def num_banks(self) -> int:
+        """Total MR banks in the block."""
+        return self.num_units * self.rows
+
+    @property
+    def capacity(self) -> int:
+        """Total weight slots (weight-bank MRs) in the block."""
+        return self.num_units * self.rows * self.cols
+
+    def describe(self) -> dict[str, int]:
+        return {
+            "num_units": self.num_units,
+            "rows": self.rows,
+            "cols": self.cols,
+            "num_banks": self.num_banks,
+            "capacity": self.capacity,
+        }
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Full accelerator configuration.
+
+    Attributes
+    ----------
+    conv_block, fc_block:
+        Geometries of the convolution and fully-connected blocks.
+    channel_spacing_nm:
+        WDM carrier spacing.
+    q_factor:
+        Loaded Q of the MRs.
+    dac_bits, adc_bits:
+        Converter resolutions.
+    name:
+        Configuration label used in reports.
+    """
+
+    conv_block: BlockGeometry = field(default_factory=lambda: BlockGeometry(100, 20, 20))
+    fc_block: BlockGeometry = field(default_factory=lambda: BlockGeometry(60, 150, 150))
+    channel_spacing_nm: float = constants.DEFAULT_CHANNEL_SPACING_NM
+    q_factor: float = constants.DEFAULT_MR_Q_FACTOR
+    dac_bits: int = 8
+    adc_bits: int = 10
+    name: str = "crosslight-paper"
+
+    def __post_init__(self) -> None:
+        check_positive(self.channel_spacing_nm, "channel_spacing_nm")
+        check_positive(self.q_factor, "q_factor")
+        check_positive_int(self.dac_bits, "dac_bits")
+        check_positive_int(self.adc_bits, "adc_bits")
+
+    @classmethod
+    def paper_config(cls) -> "AcceleratorConfig":
+        """The paper's configuration: CONV 100x20x20, FC 60x150x150."""
+        return cls()
+
+    @classmethod
+    def scaled_config(cls) -> "AcceleratorConfig":
+        """Reduced configuration matched to the CPU-scale CNN models.
+
+        The reduction keeps the CONV/FC capacity ratio and, with the scaled
+        models, keeps utilization above one mapping round for the larger
+        workloads (the paper's "multiple mappings" effect).
+        """
+        return cls(
+            conv_block=BlockGeometry(25, 10, 10),
+            fc_block=BlockGeometry(15, 30, 30),
+            name="crosslight-scaled",
+        )
+
+    def block(self, name: str) -> BlockGeometry:
+        """Return the geometry of ``"conv"`` or ``"fc"``."""
+        name = check_in_choices(name, "block", ("conv", "fc"))
+        return self.conv_block if name == "conv" else self.fc_block
+
+    @property
+    def total_mrs(self) -> int:
+        """Total weight-slot MRs across both blocks."""
+        return self.conv_block.capacity + self.fc_block.capacity
+
+    @property
+    def total_banks(self) -> int:
+        """Total MR banks across both blocks."""
+        return self.conv_block.num_banks + self.fc_block.num_banks
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "conv_block": self.conv_block.describe(),
+            "fc_block": self.fc_block.describe(),
+            "channel_spacing_nm": self.channel_spacing_nm,
+            "q_factor": self.q_factor,
+            "dac_bits": self.dac_bits,
+            "adc_bits": self.adc_bits,
+            "total_mrs": self.total_mrs,
+        }

@@ -1,0 +1,119 @@
+"""Functional inference of a mapped CNN on the (possibly attacked) accelerator.
+
+The engine mirrors the paper's methodology (§IV): the effect of an HT attack
+is evaluated by modifying the model parameters according to their mapping
+onto the ONN accelerator and then running inference.  Optionally, DAC-
+resolution weight quantization is applied to both the clean and attacked
+models, reflecting the accelerator's finite imprint precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.mapping import WeightMapping
+from repro.attacks.base import AttackOutcome
+from repro.attacks.injection import attack_context, corrupted_state_dict
+from repro.datasets.base import Dataset
+from repro.nn.module import Module
+from repro.nn.training import evaluate_accuracy
+
+__all__ = ["AttackedInferenceEngine", "evaluate_under_attack"]
+
+
+@dataclass
+class InferenceResult:
+    """Accuracy of one inference run on the accelerator."""
+
+    accuracy: float
+    attacked: bool
+    label: str = ""
+
+
+class AttackedInferenceEngine:
+    """Runs a CNN's inference through the functional accelerator model.
+
+    Parameters
+    ----------
+    model:
+        Trained CNN (its conv/fc weights are mapped onto the MR banks).
+    config:
+        Accelerator configuration.
+    quantize_weights:
+        Apply DAC-resolution quantization to the mapped weight magnitudes for
+        every run (clean and attacked).  Keeps the comparison between clean
+        and attacked accuracy apples-to-apples.
+    batch_size:
+        Evaluation batch size.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        config: AcceleratorConfig | None = None,
+        quantize_weights: bool = True,
+        batch_size: int = 64,
+    ):
+        self.model = model
+        self.config = config or AcceleratorConfig.scaled_config()
+        self.quantize_weights = quantize_weights
+        self.batch_size = batch_size
+        if quantize_weights:
+            self._quantize_mapped_weights()
+        # Build the mapping after quantization so normalization scales match
+        # the weights actually imprinted on the MRs.
+        self.mapping = WeightMapping(model, self.config)
+
+    def _quantize_mapped_weights(self) -> None:
+        """Quantize conv/fc weights in place to the DAC resolution."""
+        levels = 2**self.config.dac_bits - 1
+        for param in self.model.parameters():
+            if param.kind not in ("conv", "fc"):
+                continue
+            scale = float(np.max(np.abs(param.data)))
+            if scale <= 0:
+                continue
+            normalized = param.data / scale
+            param.data = (np.round(normalized * levels) / levels * scale).astype(np.float32)
+
+    # ------------------------------------------------------------------ runs
+    def clean_accuracy(self, dataset: Dataset) -> float:
+        """Accuracy of the mapped (quantized) model without any attack."""
+        return evaluate_accuracy(self.model, dataset, batch_size=self.batch_size)
+
+    def accuracy_under_attack(self, dataset: Dataset, outcome: AttackOutcome) -> float:
+        """Accuracy with the attack outcome injected into the mapped weights."""
+        with attack_context(self.model, self.mapping, outcome):
+            return evaluate_accuracy(self.model, dataset, batch_size=self.batch_size)
+
+    def corrupted_weights(self, outcome: AttackOutcome) -> dict[str, np.ndarray]:
+        """The corrupted state dict for an attack outcome (for inspection)."""
+        return corrupted_state_dict(self.model, self.mapping, outcome)
+
+    def weight_corruption_fraction(self, outcome: AttackOutcome) -> float:
+        """Fraction of mapped weights whose value changes under the attack."""
+        corrupted = self.corrupted_weights(outcome)
+        clean = self.model.state_dict()
+        changed = 0
+        total = 0
+        for mapped in self.mapping.parameters:
+            diff = np.abs(corrupted[mapped.name] - clean[mapped.name])
+            changed += int(np.count_nonzero(diff > 1e-7))
+            total += diff.size
+        return changed / total if total else 0.0
+
+
+def evaluate_under_attack(
+    model: Module,
+    dataset: Dataset,
+    outcome: AttackOutcome,
+    config: AcceleratorConfig | None = None,
+    quantize_weights: bool = True,
+) -> InferenceResult:
+    """One-shot helper: map ``model``, inject ``outcome`` and measure accuracy."""
+    engine = AttackedInferenceEngine(model, config=config, quantize_weights=quantize_weights)
+    accuracy = engine.accuracy_under_attack(dataset, outcome)
+    return InferenceResult(accuracy=accuracy, attacked=True, label=outcome.spec.label())

@@ -1,0 +1,199 @@
+"""Weight-stationary mapping of CNN parameters onto the accelerator's MR banks.
+
+Every convolution kernel tensor is mapped onto the CONV block and every
+fully-connected weight matrix onto the FC block (paper §IV: "All layers of the
+models were mapped using a weight-stationary approach").  Weights are laid
+out in parameter order: each weight scalar ``i`` of a block occupies slot
+``(offset + i) mod capacity`` during mapping round ``(offset + i) // capacity``.
+When a model has more weights than a block has MRs, the block is re-used over
+multiple rounds and a single compromised MR therefore corrupts one weight per
+round — the re-mapping pressure that makes the larger models more
+susceptible.
+
+Weight magnitudes are normalized per parameter tensor to ``[0, 1]`` before
+being imprinted (signs and scales are restored electronically after the
+photodetector), so the mapping records the normalization scale used by the
+attack-injection model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accelerator.config import AcceleratorConfig, BlockGeometry
+from repro.nn.module import Module
+from repro.nn.tensor import Parameter
+from repro.utils.validation import ValidationError, check_in_choices
+
+__all__ = ["MappedParameter", "WeightMapping"]
+
+
+@dataclass(frozen=True)
+class MappedParameter:
+    """Mapping record for one weight tensor.
+
+    Attributes
+    ----------
+    name:
+        Dotted parameter name (as returned by ``Module.named_parameters``).
+    kind:
+        ``"conv"`` or ``"fc"`` — selects the accelerator block.
+    shape:
+        Tensor shape.
+    size:
+        Number of scalar weights.
+    offset:
+        Global offset of the tensor's first weight within its block's
+        flattened weight stream.
+    scale:
+        Per-tensor normalization scale (maximum absolute weight at mapping
+        time); used to convert between real weights and the normalized
+        values imprinted on the MRs.
+    """
+
+    name: str
+    kind: str
+    shape: tuple[int, ...]
+    size: int
+    offset: int
+    scale: float
+
+    def global_indices(self) -> np.ndarray:
+        """Global (block-stream) indices of this tensor's weights."""
+        return self.offset + np.arange(self.size, dtype=np.int64)
+
+
+class WeightMapping:
+    """Weight-stationary mapping of a model onto an accelerator configuration.
+
+    Parameters
+    ----------
+    model:
+        The CNN whose ``conv``/``fc`` weight tensors are mapped.
+    config:
+        Accelerator configuration (block geometries).
+    """
+
+    def __init__(self, model: Module, config: AcceleratorConfig):
+        self.config = config
+        self.parameters: list[MappedParameter] = []
+        self._params_by_name: dict[str, Parameter] = {}
+        offsets = {"conv": 0, "fc": 0}
+        for name, param in model.named_parameters():
+            if param.kind not in ("conv", "fc"):
+                continue
+            scale = float(np.max(np.abs(param.data))) if param.size else 0.0
+            mapped = MappedParameter(
+                name=name,
+                kind=param.kind,
+                shape=tuple(param.shape),
+                size=param.size,
+                offset=offsets[param.kind],
+                scale=scale if scale > 0 else 1.0,
+            )
+            offsets[param.kind] += param.size
+            self.parameters.append(mapped)
+            self._params_by_name[name] = param
+        self._total = dict(offsets)
+
+    # ------------------------------------------------------------- inventory
+    def block_geometry(self, block: str) -> BlockGeometry:
+        """Geometry of ``"conv"`` or ``"fc"``."""
+        return self.config.block(block)
+
+    def total_weights(self, block: str) -> int:
+        """Number of model weights mapped onto ``block``."""
+        block = check_in_choices(block, "block", ("conv", "fc"))
+        return self._total[block]
+
+    def mapping_rounds(self, block: str) -> int:
+        """Number of temporal re-mapping rounds the block needs for this model."""
+        capacity = self.block_geometry(block).capacity
+        total = self.total_weights(block)
+        return int(np.ceil(total / capacity)) if total else 0
+
+    def utilization(self, block: str) -> float:
+        """Fraction of the block's MRs used in the final mapping round average."""
+        capacity = self.block_geometry(block).capacity
+        total = self.total_weights(block)
+        if total == 0:
+            return 0.0
+        rounds = self.mapping_rounds(block)
+        return total / (rounds * capacity)
+
+    def parameters_in_block(self, block: str) -> list[MappedParameter]:
+        """Mapped tensors that live in ``block``."""
+        block = check_in_choices(block, "block", ("conv", "fc"))
+        return [mp for mp in self.parameters if mp.kind == block]
+
+    def parameter_array(self, name: str) -> Parameter:
+        """The live :class:`Parameter` behind a mapped tensor."""
+        if name not in self._params_by_name:
+            raise ValidationError(f"parameter {name!r} is not mapped")
+        return self._params_by_name[name]
+
+    # ------------------------------------------------------------- geometry
+    def slots_for(self, mapped: MappedParameter) -> np.ndarray:
+        """MR slot index of every weight in ``mapped`` (flat, per its block)."""
+        capacity = self.block_geometry(mapped.kind).capacity
+        return (mapped.global_indices() % capacity).astype(np.int64)
+
+    def rounds_for(self, mapped: MappedParameter) -> np.ndarray:
+        """Mapping round of every weight in ``mapped``."""
+        capacity = self.block_geometry(mapped.kind).capacity
+        return (mapped.global_indices() // capacity).astype(np.int64)
+
+    def banks_for(self, mapped: MappedParameter) -> np.ndarray:
+        """Flat bank index of every weight in ``mapped``."""
+        geometry = self.block_geometry(mapped.kind)
+        return self.slots_for(mapped) // geometry.cols
+
+    def weights_on_slot(self, block: str, slot: int) -> list[tuple[str, int]]:
+        """All ``(parameter name, flat weight index)`` pairs hosted by one MR slot.
+
+        Used by diagnostics and tests; the attack-injection fast path uses the
+        vectorized modular arithmetic instead.
+        """
+        geometry = self.block_geometry(block)
+        if not 0 <= slot < geometry.capacity:
+            raise ValidationError(f"slot {slot} outside capacity {geometry.capacity}")
+        hosted: list[tuple[str, int]] = []
+        for mapped in self.parameters_in_block(block):
+            # Global indices congruent to ``slot`` modulo capacity that fall
+            # inside this tensor's [offset, offset + size) range.
+            first_round = (mapped.offset - slot + geometry.capacity - 1) // geometry.capacity
+            candidate = first_round * geometry.capacity + slot
+            while candidate < mapped.offset + mapped.size:
+                if candidate >= mapped.offset:
+                    hosted.append((mapped.name, candidate - mapped.offset))
+                candidate += geometry.capacity
+        return hosted
+
+    # -------------------------------------------------------- normalization
+    def normalize(self, mapped: MappedParameter, values: np.ndarray) -> np.ndarray:
+        """Real weights → normalized magnitudes in [0, 1]."""
+        return np.clip(np.abs(values) / mapped.scale, 0.0, 1.0)
+
+    def denormalize(
+        self, mapped: MappedParameter, magnitudes: np.ndarray, signs: np.ndarray
+    ) -> np.ndarray:
+        """Normalized magnitudes (+ original signs) → real weights."""
+        return signs * np.clip(magnitudes, 0.0, 1.0) * mapped.scale
+
+    # ------------------------------------------------------------- reporting
+    def describe(self) -> dict[str, object]:
+        """Summary used by reports and DESIGN/EXPERIMENTS documentation."""
+        return {
+            "config": self.config.name,
+            "conv_weights": self.total_weights("conv"),
+            "fc_weights": self.total_weights("fc"),
+            "conv_capacity": self.block_geometry("conv").capacity,
+            "fc_capacity": self.block_geometry("fc").capacity,
+            "conv_rounds": self.mapping_rounds("conv"),
+            "fc_rounds": self.mapping_rounds("fc"),
+            "conv_utilization": self.utilization("conv"),
+            "fc_utilization": self.utilization("fc"),
+            "num_tensors": len(self.parameters),
+        }

@@ -1,0 +1,166 @@
+"""Power and latency estimation for the accelerator hardware.
+
+The estimates combine the published device-level numbers used throughout the
+paper's background section: EO actuation power (≈4 µW/nm), TO trimming power
+(≈27 mW/FSR, amortized by assuming only a fraction of an FSR of static trim
+per ring), DAC/ADC power, laser wall-plug power and photodetector readout.
+They support the EO-vs-TO ablation benchmark (E-A2 in DESIGN.md) and the
+power-oriented example application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.config import AcceleratorConfig, BlockGeometry
+from repro.photonics.dac_adc import ADC, DAC
+from repro.photonics.laser import LaserSource
+from repro.photonics.tuning import ElectroOpticTuner, ThermoOpticTuner
+from repro.photonics.waveguide import WDMGrid
+
+__all__ = ["PowerModel", "PowerReport", "BlockPowerBreakdown"]
+
+
+@dataclass(frozen=True)
+class BlockPowerBreakdown:
+    """Per-block static power breakdown [W]."""
+
+    block: str
+    laser_w: float
+    eo_actuation_w: float
+    to_trimming_w: float
+    dac_w: float
+    adc_w: float
+    photodetector_w: float
+
+    @property
+    def total_w(self) -> float:
+        return (
+            self.laser_w
+            + self.eo_actuation_w
+            + self.to_trimming_w
+            + self.dac_w
+            + self.adc_w
+            + self.photodetector_w
+        )
+
+    def as_dict(self) -> dict[str, float | str]:
+        return {
+            "block": self.block,
+            "laser_w": self.laser_w,
+            "eo_actuation_w": self.eo_actuation_w,
+            "to_trimming_w": self.to_trimming_w,
+            "dac_w": self.dac_w,
+            "adc_w": self.adc_w,
+            "photodetector_w": self.photodetector_w,
+            "total_w": self.total_w,
+        }
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Accelerator-level power/latency report."""
+
+    conv: BlockPowerBreakdown
+    fc: BlockPowerBreakdown
+    vdp_latency_s: float
+
+    @property
+    def total_w(self) -> float:
+        return self.conv.total_w + self.fc.total_w
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "conv": self.conv.as_dict(),
+            "fc": self.fc.as_dict(),
+            "total_w": self.total_w,
+            "vdp_latency_s": self.vdp_latency_s,
+        }
+
+
+class PowerModel:
+    """Static power/latency model of the photonic accelerator.
+
+    Parameters
+    ----------
+    config:
+        Accelerator configuration.
+    average_actuation_shift_nm:
+        Mean EO detuning needed to imprint a value (about a quarter of the
+        channel spacing for uniformly distributed values).
+    static_trim_fraction_fsr:
+        Average fraction of one FSR each ring's TO heater must statically
+        compensate for fabrication/thermal variation.
+    photodetector_power_w:
+        Receiver (TIA + PD bias) power per bank output.
+    """
+
+    def __init__(
+        self,
+        config: AcceleratorConfig,
+        average_actuation_shift_nm: float = 0.2,
+        static_trim_fraction_fsr: float = 0.05,
+        photodetector_power_w: float = 2e-3,
+        laser_power_per_channel_mw: float = 1.0,
+    ):
+        self.config = config
+        self.average_actuation_shift_nm = average_actuation_shift_nm
+        self.static_trim_fraction_fsr = static_trim_fraction_fsr
+        self.photodetector_power_w = photodetector_power_w
+        self.laser_power_per_channel_mw = laser_power_per_channel_mw
+        self.eo = ElectroOpticTuner()
+        self.to = ThermoOpticTuner()
+        self.dac = DAC(bits=config.dac_bits)
+        self.adc = ADC(bits=config.adc_bits)
+
+    def block_breakdown(self, block: str) -> BlockPowerBreakdown:
+        """Static power of one block (CONV or FC)."""
+        geometry: BlockGeometry = self.config.block(block)
+        grid = WDMGrid(num_channels=geometry.cols, spacing_nm=self.config.channel_spacing_nm)
+        laser = LaserSource(
+            grid, power_per_channel_mw=self.laser_power_per_channel_mw
+        )
+        # One laser/waveguide per bank (each bank has its own carrier comb).
+        laser_w = laser.electrical_power_w * geometry.num_banks
+        # Both the input and the weight bank actuate one ring per weight slot.
+        num_actuated_mrs = 2 * geometry.capacity
+        eo_w = (
+            self.eo.cost_for_shift(self.average_actuation_shift_nm).power_w * num_actuated_mrs
+        )
+        to_w = (
+            self.to.power_per_fsr_w * self.static_trim_fraction_fsr * num_actuated_mrs
+        )
+        dac_w = self.dac.power_w * num_actuated_mrs
+        adc_w = self.adc.power_w * geometry.num_banks
+        pd_w = self.photodetector_power_w * geometry.num_banks
+        return BlockPowerBreakdown(
+            block=block,
+            laser_w=laser_w,
+            eo_actuation_w=eo_w,
+            to_trimming_w=to_w,
+            dac_w=dac_w,
+            adc_w=adc_w,
+            photodetector_w=pd_w,
+        )
+
+    def report(self) -> PowerReport:
+        """Full accelerator power report."""
+        latency = max(self.dac.latency_s, self.adc.latency_s, self.eo.latency_s)
+        return PowerReport(
+            conv=self.block_breakdown("conv"),
+            fc=self.block_breakdown("fc"),
+            vdp_latency_s=latency,
+        )
+
+    def tuning_energy_comparison(self, shift_nm: float) -> dict[str, float]:
+        """EO vs TO energy for one resonance shift (ablation E-A2)."""
+        comparison: dict[str, float] = {}
+        if abs(shift_nm) <= self.eo.max_range_nm:
+            eo_cost = self.eo.cost_for_shift(shift_nm)
+            comparison["eo_energy_j"] = eo_cost.energy_j
+            comparison["eo_power_w"] = eo_cost.power_w
+        to_cost = self.to.cost_for_shift(min(abs(shift_nm), self.to.max_range_nm))
+        comparison["to_energy_j"] = to_cost.energy_j
+        comparison["to_power_w"] = to_cost.power_w
+        comparison["shift_nm"] = shift_nm
+        return comparison

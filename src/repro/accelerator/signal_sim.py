@@ -1,0 +1,165 @@
+"""Detailed device-level simulation of small optical matrix-vector products.
+
+The functional inference path (:mod:`repro.accelerator.inference`) corrupts
+weights analytically.  This module runs the same operations through the
+actual photonic device models (:class:`~repro.photonics.vdp.VDPUnit`,
+:class:`~repro.photonics.mr_bank.MRBankPair`) for small operand sizes, so
+integration tests and the examples can validate that the analytic corruption
+model agrees with the signal-level behaviour of the hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.photonics.dac_adc import ADC, DAC
+from repro.photonics.mr_bank import MRBankPair
+from repro.photonics.thermal_sensitivity import ThermalSensitivity
+from repro.photonics.waveguide import WDMGrid
+from repro.utils.validation import ValidationError, check_positive_int
+
+__all__ = ["SignalLevelSimulator"]
+
+
+class SignalLevelSimulator:
+    """Optical computation of normalized matrix-vector products.
+
+    Parameters
+    ----------
+    vector_size:
+        Operand length (number of WDM carriers per bank).
+    channel_spacing_nm, q_factor:
+        Device parameters (should match the accelerator configuration for
+        apples-to-apples comparisons with the functional model).
+    use_converters:
+        Quantize operands with the DAC and outputs with the ADC.
+    """
+
+    def __init__(
+        self,
+        vector_size: int,
+        channel_spacing_nm: float = 0.8,
+        q_factor: float = 16_000.0,
+        dac_bits: int = 8,
+        adc_bits: int = 10,
+        use_converters: bool = False,
+    ):
+        self.vector_size = check_positive_int(vector_size, "vector_size")
+        self.grid = WDMGrid(num_channels=vector_size, spacing_nm=channel_spacing_nm)
+        self.q_factor = q_factor
+        self.dac = DAC(bits=dac_bits) if use_converters else None
+        self.adc = ADC(bits=adc_bits) if use_converters else None
+        self.sensitivity = ThermalSensitivity()
+
+    def _new_bank_pair(self) -> MRBankPair:
+        return MRBankPair(self.vector_size, grid=self.grid, q_factor=self.q_factor)
+
+    # -------------------------------------------------------------- products
+    def dot(
+        self,
+        inputs: np.ndarray,
+        weights: np.ndarray,
+        attacked_weight_mrs: list[int] | None = None,
+        bank_delta_t_k: float = 0.0,
+    ) -> float:
+        """Optical dot product of two normalized vectors with optional attacks.
+
+        Parameters
+        ----------
+        inputs, weights:
+            Normalized operands in ``[0, 1]`` of length ``vector_size``.
+        attacked_weight_mrs:
+            Indices of weight-bank rings under actuation attack.
+        bank_delta_t_k:
+            Temperature rise of the weight bank (hotspot attack).
+        """
+        inputs = np.asarray(inputs, dtype=float)
+        weights = np.asarray(weights, dtype=float)
+        if inputs.shape != (self.vector_size,) or weights.shape != (self.vector_size,):
+            raise ValidationError(
+                f"operands must have shape ({self.vector_size},), "
+                f"got {inputs.shape} and {weights.shape}"
+            )
+        if self.dac is not None:
+            inputs = np.clip(self.dac.convert(inputs), 0.0, 1.0)
+            weights = np.clip(self.dac.convert(weights), 0.0, 1.0)
+        pair = self._new_bank_pair()
+        pair.program(inputs, weights)
+        if attacked_weight_mrs:
+            pair.weight_bank.apply_actuation_attack(attacked_weight_mrs)
+        if bank_delta_t_k > 0:
+            pair.weight_bank.apply_thermal_attack(bank_delta_t_k, self.sensitivity)
+        result = pair.dot_product()
+        if self.adc is not None:
+            normalized = result / self.vector_size
+            result = float(self.adc.convert(normalized)) * self.vector_size
+        return result
+
+    def matvec(
+        self,
+        matrix: np.ndarray,
+        vector: np.ndarray,
+        attacked_rows: dict[int, list[int]] | None = None,
+        row_delta_t_k: dict[int, float] | None = None,
+    ) -> np.ndarray:
+        """Optical matrix-vector product, one bank pair per matrix row.
+
+        ``attacked_rows`` maps row index → attacked weight-MR indices;
+        ``row_delta_t_k`` maps row index → bank temperature rise.
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        vector = np.asarray(vector, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[1] != self.vector_size:
+            raise ValidationError(
+                f"matrix must be (rows, {self.vector_size}), got {matrix.shape}"
+            )
+        attacked_rows = attacked_rows or {}
+        row_delta_t_k = row_delta_t_k or {}
+        outputs = np.zeros(matrix.shape[0])
+        for row in range(matrix.shape[0]):
+            outputs[row] = self.dot(
+                vector,
+                matrix[row],
+                attacked_weight_mrs=attacked_rows.get(row),
+                bank_delta_t_k=row_delta_t_k.get(row, 0.0),
+            )
+        return outputs
+
+    # ---------------------------------------------------------------- checks
+    def functional_equivalent_dot(
+        self,
+        inputs: np.ndarray,
+        weights: np.ndarray,
+        attacked_weight_mrs: list[int] | None = None,
+        bank_delta_t_k: float = 0.0,
+        off_resonance_magnitude: float = 0.002,
+    ) -> float:
+        """The analytic (functional) prediction for the same attacked product.
+
+        Used by tests to check that the fast functional corruption model and
+        the device-level simulation agree on small cases.  Mirrors
+        :mod:`repro.attacks.injection`: an off-resonance weight ring couples
+        ≈0 to the detector; a whole-channel thermal shift re-pairs carriers
+        with the previous ring's magnitude; a residual shift scales the
+        coupled magnitude down by the Lorentzian factor.
+        """
+        weights = np.asarray(weights, dtype=float).copy()
+        inputs = np.asarray(inputs, dtype=float)
+        if attacked_weight_mrs:
+            weights[np.asarray(attacked_weight_mrs, dtype=int)] = off_resonance_magnitude
+        if bank_delta_t_k > 0:
+            shift_nm = self.sensitivity.resonance_shift_nm(
+                self.grid.center_nm, bank_delta_t_k
+            )
+            spacing = self.grid.spacing_nm
+            channel_shift = int(np.floor(shift_nm / spacing + 0.5))
+            residual = shift_nm - channel_shift * spacing
+            linewidth = self.grid.center_nm / self.q_factor
+            shifted = np.full_like(weights, off_resonance_magnitude)
+            if channel_shift == 0:
+                shifted = weights.copy()
+            elif channel_shift < self.vector_size:
+                shifted[channel_shift:] = weights[: self.vector_size - channel_shift]
+            lorentz = 1.0 / (1.0 + (2.0 * residual / linewidth) ** 2)
+            weights = shifted * lorentz
+        return float(np.dot(inputs, weights))

@@ -1,0 +1,198 @@
+"""Registry of the paper's experiments (tables, figures, ablations).
+
+Each entry maps an experiment id (``table1``, ``fig6`` .. ``fig9``,
+``ablation_mitigation``, ``ablation_tuning``) to a short description, the
+modules implementing it and a quick-run callable returning a result summary
+dictionary.  The benchmark suite and EXPERIMENTS.md are organised around
+these ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["ExperimentDescriptor", "EXPERIMENTS", "get_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentDescriptor:
+    """Metadata and quick-runner for one paper artefact."""
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    modules: tuple[str, ...]
+    bench_target: str
+    runner: Callable[[], dict]
+
+    def run(self) -> dict:
+        """Execute the quick version of the experiment."""
+        return self.runner()
+
+
+# --------------------------------------------------------------------------- runners
+def _run_table1() -> dict:
+    from repro.nn.models.table1 import table1_rows
+
+    rows = table1_rows(include_measured=True)
+    return {"rows": rows}
+
+
+def _run_fig6() -> dict:
+    from repro.accelerator.config import AcceleratorConfig
+    from repro.thermal import Floorplan, simulate_hotspot_attack
+
+    config = AcceleratorConfig.paper_config()
+    geometry = config.conv_block
+    floorplan = Floorplan(num_banks=geometry.num_banks, banks_per_row=geometry.rows)
+    result = simulate_hotspot_attack(floorplan, attacked_banks=[650, 1260])
+    return {
+        "peak_rise_k": result.peak_rise_k,
+        "attacked_banks": list(result.attacked_banks),
+        "num_affected_banks": len(result.affected_banks(5.0)),
+    }
+
+
+def _run_fig7() -> dict:
+    from repro.analysis.susceptibility import SusceptibilityConfig, SusceptibilityStudy
+
+    study = SusceptibilityStudy(SusceptibilityConfig.quick())
+    result = study.run()
+    return {
+        "baselines": result.baselines,
+        "worst_case_drops": {
+            model: result.worst_case_drop(model) for model in result.baselines
+        },
+    }
+
+
+def _run_fig8() -> dict:
+    from repro.analysis.mitigation_analysis import MitigationAnalysisConfig, MitigationStudy
+
+    study = MitigationStudy(MitigationAnalysisConfig.quick())
+    result = study.run()
+    return {
+        "best_variant": result.best_variant,
+        "num_distributions": len(result.distributions),
+    }
+
+
+def _run_fig9() -> dict:
+    from repro.analysis.mitigation_analysis import MitigationAnalysisConfig, MitigationStudy
+
+    study = MitigationStudy(MitigationAnalysisConfig.quick())
+    result = study.run()
+    return {
+        "comparison": [
+            {
+                "model": row.model,
+                "kind": row.kind,
+                "fraction": row.fraction,
+                "recovery": row.recovery,
+            }
+            for row in result.comparison
+        ]
+    }
+
+
+def _run_ablation_mitigation() -> dict:
+    from repro.analysis.mitigation_analysis import MitigationAnalysisConfig, MitigationStudy
+    from repro.mitigation.l2_regularization import L2Config
+    from repro.mitigation.noise_aware import NoiseAwareConfig
+    from repro.mitigation.robust_training import VariantSpec
+
+    variants = (
+        VariantSpec(name="Original"),
+        VariantSpec(name="L2_reg", l2=L2Config()),
+        VariantSpec(name="noise_n3", noise=NoiseAwareConfig(std=0.3)),
+        VariantSpec(name="l2+n3", l2=L2Config(), noise=NoiseAwareConfig(std=0.3)),
+    )
+    study = MitigationStudy(MitigationAnalysisConfig.quick(variants=variants))
+    result = study.run()
+    medians = {
+        dist.variant: float(sorted(dist.accuracies)[len(dist.accuracies) // 2])
+        for dist in result.distributions
+    }
+    return {"median_attacked_accuracy": medians}
+
+
+def _run_ablation_tuning() -> dict:
+    from repro.accelerator.config import AcceleratorConfig
+    from repro.accelerator.power import PowerModel
+
+    model = PowerModel(AcceleratorConfig.paper_config())
+    return {
+        "shift_0.2nm": model.tuning_energy_comparison(0.2),
+        "shift_2nm": model.tuning_energy_comparison(2.0),
+        "total_power_w": model.report().total_w,
+    }
+
+
+EXPERIMENTS: dict[str, ExperimentDescriptor] = {
+    "table1": ExperimentDescriptor(
+        experiment_id="table1",
+        title="CNN model parameter inventory",
+        paper_reference="Table I",
+        modules=("repro.nn.models",),
+        bench_target="benchmarks/bench_table1_models.py",
+        runner=_run_table1,
+    ),
+    "fig6": ExperimentDescriptor(
+        experiment_id="fig6",
+        title="Thermal hotspot heatmap on the CONV block",
+        paper_reference="Fig. 6",
+        modules=("repro.thermal", "repro.attacks.hotspot"),
+        bench_target="benchmarks/bench_fig6_heatmap.py",
+        runner=_run_fig6,
+    ),
+    "fig7": ExperimentDescriptor(
+        experiment_id="fig7",
+        title="Susceptibility of CNN models to actuation and hotspot attacks",
+        paper_reference="Fig. 7(a)-(c)",
+        modules=("repro.analysis.susceptibility", "repro.attacks", "repro.accelerator"),
+        bench_target="benchmarks/bench_fig7_susceptibility.py",
+        runner=_run_fig7,
+    ),
+    "fig8": ExperimentDescriptor(
+        experiment_id="fig8",
+        title="Accuracy distribution of mitigation variants",
+        paper_reference="Fig. 8(a)-(c)",
+        modules=("repro.analysis.mitigation_analysis", "repro.mitigation"),
+        bench_target="benchmarks/bench_fig8_variants.py",
+        runner=_run_fig8,
+    ),
+    "fig9": ExperimentDescriptor(
+        experiment_id="fig9",
+        title="Robust vs. original models under attack",
+        paper_reference="Fig. 9(a)-(c)",
+        modules=("repro.analysis.mitigation_analysis", "repro.mitigation.selection"),
+        bench_target="benchmarks/bench_fig9_robust_vs_original.py",
+        runner=_run_fig9,
+    ),
+    "ablation_mitigation": ExperimentDescriptor(
+        experiment_id="ablation_mitigation",
+        title="L2-only vs noise-only vs combined mitigation",
+        paper_reference="§V discussion",
+        modules=("repro.mitigation",),
+        bench_target="benchmarks/bench_ablation_mitigation.py",
+        runner=_run_ablation_mitigation,
+    ),
+    "ablation_tuning": ExperimentDescriptor(
+        experiment_id="ablation_tuning",
+        title="EO vs TO tuning power/latency",
+        paper_reference="§II.B",
+        modules=("repro.photonics.tuning", "repro.accelerator.power"),
+        bench_target="benchmarks/bench_photonic_primitives.py",
+        runner=_run_ablation_tuning,
+    ),
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentDescriptor:
+    """Look up an experiment by id, raising ``KeyError`` with guidance otherwise."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[experiment_id]

@@ -1,0 +1,71 @@
+"""Accuracy metrics used throughout the evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["accuracy_drop", "accuracy_recovery", "BoxStats", "box_stats", "percent"]
+
+
+def accuracy_drop(baseline: float, attacked: float) -> float:
+    """Accuracy lost to the attack, in accuracy points (0..1 scale).
+
+    Matches the paper's usage, e.g. a baseline of 0.99 and an attacked
+    accuracy of 0.915 is a drop of 0.075 (reported as 7.5%).
+    """
+    return float(baseline - attacked)
+
+
+def accuracy_recovery(
+    original_attacked: float, robust_attacked: float
+) -> float:
+    """How much of the attack-induced drop the robust model wins back.
+
+    The paper reports recovery as the accuracy-point difference between the
+    robust model and the original model under the same attack.
+    """
+    return float(robust_attacked - original_attacked)
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary used for the Fig. 8 box-and-whisker data."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "min": self.minimum,
+            "q1": self.q1,
+            "median": self.median,
+            "q3": self.q3,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+
+def box_stats(values: np.ndarray) -> BoxStats:
+    """Five-number summary (plus mean) of a sample of accuracies."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return BoxStats(
+        minimum=float(values.min()),
+        q1=float(np.percentile(values, 25)),
+        median=float(np.median(values)),
+        q3=float(np.percentile(values, 75)),
+        maximum=float(values.max()),
+        mean=float(values.mean()),
+    )
+
+
+def percent(value: float, digits: int = 2) -> str:
+    """Format a 0..1 accuracy value as a percentage string."""
+    return f"{100.0 * value:.{digits}f}%"

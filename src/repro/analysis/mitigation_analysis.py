@@ -1,0 +1,316 @@
+"""Mitigation analysis (paper §VI, Figs. 8 and 9).
+
+The study trains the variant grid (Original, L2_reg, l2+n1 .. l2+n9) for each
+workload, evaluates every variant across the attack grid, selects the most
+robust variant and compares it against the original model under attacks on
+the full accelerator (CONV + FC) at 1%, 5% and 10% intensity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.inference import AttackedInferenceEngine
+from repro.attacks.base import KINDS
+from repro.attacks.hotspot import HotspotAttackConfig
+from repro.attacks.scenario import DEFAULT_FRACTIONS, generate_scenarios, sample_outcome
+from repro.datasets.base import DatasetSplit, train_test_split
+from repro.datasets.registry import load_dataset
+from repro.mitigation.robust_training import (
+    VariantResult,
+    VariantSpec,
+    default_variant_grid,
+    train_variant_grid,
+)
+from repro.mitigation.selection import RobustnessScore, select_most_robust
+from repro.nn.models.registry import MODEL_DATASETS
+from repro.nn.training import TrainingConfig
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "MitigationAnalysisConfig",
+    "VariantDistribution",
+    "RobustComparisonRow",
+    "MitigationStudyResult",
+    "MitigationStudy",
+]
+
+#: Per-workload defaults (kept aligned with the susceptibility study).
+_WORKLOAD_DEFAULTS: dict[str, dict[str, object]] = {
+    "cnn_mnist": {
+        "num_samples": 700,
+        "dataset_kwargs": {},
+        "model_kwargs": {},
+        "training": dict(epochs=4, batch_size=32, lr=2e-3),
+    },
+    "resnet18": {
+        "num_samples": 400,
+        "dataset_kwargs": {},
+        "model_kwargs": {},
+        "training": dict(epochs=3, batch_size=32, lr=2e-3),
+    },
+    "vgg16_variant": {
+        "num_samples": 450,
+        "dataset_kwargs": {"image_size": 48},
+        "model_kwargs": {"image_size": 48},
+        "training": dict(epochs=4, batch_size=32, lr=2e-3),
+    },
+}
+
+
+@dataclass
+class MitigationAnalysisConfig:
+    """Configuration of the Fig. 8 / Fig. 9 studies.
+
+    Attributes
+    ----------
+    model_names:
+        Workloads to evaluate.
+    variants:
+        Variant grid (defaults to the paper's Original, L2_reg, l2+n1..n9).
+    kinds, blocks, fractions, num_placements:
+        Attack grid used for the variant comparison (Fig. 8 evaluates every
+        block target; Fig. 9 uses the combined CONV+FC attacks).
+    seed:
+        Master seed.
+    """
+
+    model_names: Sequence[str] = ("cnn_mnist", "resnet18", "vgg16_variant")
+    variants: Sequence[VariantSpec] | None = None
+    kinds: Sequence[str] = KINDS
+    blocks: Sequence[str] = ("conv", "fc", "both")
+    fractions: Sequence[float] = DEFAULT_FRACTIONS
+    num_placements: int = 3
+    seed: int = 0
+    accelerator: AcceleratorConfig = field(default_factory=AcceleratorConfig.scaled_config)
+    hotspot: HotspotAttackConfig = field(default_factory=HotspotAttackConfig)
+    quantize_weights: bool = True
+    test_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_placements, "num_placements")
+
+    def variant_grid(self) -> list[VariantSpec]:
+        if self.variants is not None:
+            return list(self.variants)
+        return default_variant_grid()
+
+    @classmethod
+    def quick(cls, **overrides) -> "MitigationAnalysisConfig":
+        """Reduced configuration for tests and benchmarks."""
+        from repro.mitigation.l2_regularization import L2Config
+        from repro.mitigation.noise_aware import NoiseAwareConfig
+
+        defaults = dict(
+            model_names=("cnn_mnist",),
+            variants=(
+                VariantSpec(name="Original"),
+                VariantSpec(name="L2_reg", l2=L2Config()),
+                VariantSpec(name="l2+n2", l2=L2Config(), noise=NoiseAwareConfig(std=0.2)),
+                VariantSpec(name="l2+n5", l2=L2Config(), noise=NoiseAwareConfig(std=0.5)),
+            ),
+            blocks=("both",),
+            fractions=(0.05, 0.10),
+            num_placements=2,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+
+@dataclass(frozen=True)
+class VariantDistribution:
+    """Fig. 8 data point: one variant's attacked-accuracy distribution."""
+
+    model: str
+    variant: str
+    baseline_accuracy: float
+    accuracies: np.ndarray
+
+    def summary(self) -> dict[str, float]:
+        from repro.analysis.metrics import box_stats
+
+        stats = box_stats(self.accuracies).as_dict()
+        stats["baseline"] = self.baseline_accuracy
+        return stats
+
+
+@dataclass(frozen=True)
+class RobustComparisonRow:
+    """Fig. 9 data point: original vs. robust model under one attack setting."""
+
+    model: str
+    kind: str
+    fraction: float
+    original_baseline: float
+    robust_baseline: float
+    original_accuracy_mean: float
+    original_accuracy_min: float
+    robust_accuracy_mean: float
+    robust_accuracy_min: float
+
+    @property
+    def original_drop(self) -> float:
+        return self.original_baseline - self.original_accuracy_min
+
+    @property
+    def recovery(self) -> float:
+        """Worst-case accuracy recovered by the robust model (accuracy points)."""
+        return self.robust_accuracy_min - self.original_accuracy_min
+
+
+@dataclass
+class MitigationStudyResult:
+    """Outputs of the mitigation study for all workloads."""
+
+    config: MitigationAnalysisConfig
+    distributions: list[VariantDistribution] = field(default_factory=list)
+    best_variant: dict[str, str] = field(default_factory=dict)
+    variant_scores: dict[str, list[RobustnessScore]] = field(default_factory=dict)
+    comparison: list[RobustComparisonRow] = field(default_factory=list)
+
+    def distributions_for(self, model: str) -> list[VariantDistribution]:
+        return [d for d in self.distributions if d.model == model]
+
+    def comparison_for(self, model: str) -> list[RobustComparisonRow]:
+        return [row for row in self.comparison if row.model == model]
+
+
+class MitigationStudy:
+    """Runs the Fig. 8 variant comparison and the Fig. 9 robust-vs-original study."""
+
+    def __init__(self, config: MitigationAnalysisConfig | None = None):
+        self.config = config or MitigationAnalysisConfig()
+
+    # ---------------------------------------------------------------- setup
+    def prepare_split(self, model_name: str) -> DatasetSplit:
+        """Synthesize and split the dataset for a workload."""
+        defaults = _WORKLOAD_DEFAULTS[model_name]
+        dataset = load_dataset(
+            MODEL_DATASETS[model_name],
+            num_samples=int(defaults["num_samples"]),
+            seed=self.config.seed,
+            **dict(defaults["dataset_kwargs"]),
+        )
+        return train_test_split(dataset, self.config.test_fraction, seed=self.config.seed + 1)
+
+    def train_variants(self, model_name: str, split: DatasetSplit) -> list[VariantResult]:
+        """Train the variant grid for one workload."""
+        defaults = _WORKLOAD_DEFAULTS[model_name]
+        base_config = TrainingConfig(seed=self.config.seed, **dict(defaults["training"]))
+        return train_variant_grid(
+            model_name,
+            split,
+            base_config,
+            variants=self.config.variant_grid(),
+            model_kwargs=dict(defaults["model_kwargs"]),
+        )
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> MitigationStudyResult:
+        """Run the full mitigation study for every configured workload."""
+        result = MitigationStudyResult(config=self.config)
+        scenarios = generate_scenarios(
+            kinds=self.config.kinds,
+            blocks=self.config.blocks,
+            fractions=self.config.fractions,
+            num_placements=self.config.num_placements,
+            master_seed=self.config.seed,
+        )
+        # Pre-sample outcomes once: every variant faces the same attacks.
+        outcomes = [
+            (s, sample_outcome(s, self.config.accelerator, self.config.hotspot))
+            for s in scenarios
+        ]
+        for model_name in self.config.model_names:
+            split = self.prepare_split(model_name)
+            variants = self.train_variants(model_name, split)
+            accuracy_by_variant: dict[str, np.ndarray] = {}
+            engines: dict[str, AttackedInferenceEngine] = {}
+            for variant in variants:
+                engine = AttackedInferenceEngine(
+                    variant.model,
+                    config=self.config.accelerator,
+                    quantize_weights=self.config.quantize_weights,
+                )
+                engines[variant.spec.name] = engine
+                accuracies = np.array(
+                    [
+                        engine.accuracy_under_attack(split.test, outcome)
+                        for _, outcome in outcomes
+                    ]
+                )
+                accuracy_by_variant[variant.spec.name] = accuracies
+                result.distributions.append(
+                    VariantDistribution(
+                        model=model_name,
+                        variant=variant.spec.name,
+                        baseline_accuracy=variant.baseline_accuracy,
+                        accuracies=accuracies,
+                    )
+                )
+            best, scores = select_most_robust(accuracy_by_variant)
+            result.best_variant[model_name] = best
+            result.variant_scores[model_name] = scores
+            result.comparison.extend(
+                self._compare_best(
+                    model_name, variants, engines, split, outcomes, best
+                )
+            )
+        return result
+
+    # ------------------------------------------------------------- figure 9
+    def _compare_best(
+        self,
+        model_name: str,
+        variants: list[VariantResult],
+        engines: dict[str, AttackedInferenceEngine],
+        split: DatasetSplit,
+        outcomes,
+        best: str,
+    ) -> list[RobustComparisonRow]:
+        """Fig. 9 rows: original vs. the selected robust variant (CONV+FC attacks)."""
+        by_name = {variant.spec.name: variant for variant in variants}
+        original = by_name["Original"]
+        robust = by_name[best]
+        rows: list[RobustComparisonRow] = []
+        for kind in self.config.kinds:
+            for fraction in self.config.fractions:
+                selected = [
+                    (s, o)
+                    for s, o in outcomes
+                    if s.spec.kind == kind
+                    and s.spec.target_block == "both"
+                    and np.isclose(s.spec.fraction, fraction)
+                ]
+                if not selected:
+                    continue
+                original_accs = np.array(
+                    [
+                        engines["Original"].accuracy_under_attack(split.test, outcome)
+                        for _, outcome in selected
+                    ]
+                )
+                robust_accs = np.array(
+                    [
+                        engines[best].accuracy_under_attack(split.test, outcome)
+                        for _, outcome in selected
+                    ]
+                )
+                rows.append(
+                    RobustComparisonRow(
+                        model=model_name,
+                        kind=kind,
+                        fraction=fraction,
+                        original_baseline=original.baseline_accuracy,
+                        robust_baseline=robust.baseline_accuracy,
+                        original_accuracy_mean=float(original_accs.mean()),
+                        original_accuracy_min=float(original_accs.min()),
+                        robust_accuracy_mean=float(robust_accs.mean()),
+                        robust_accuracy_min=float(robust_accs.min()),
+                    )
+                )
+        return rows

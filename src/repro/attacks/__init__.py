@@ -1,0 +1,41 @@
+"""Hardware-trojan attack models for the ONN accelerator.
+
+Two attack vectors are modelled (paper §III.B):
+
+* **Actuation attacks** (:mod:`repro.attacks.actuation`) — HTs in the EO
+  signal-modulation circuits force individual, randomly distributed MRs into
+  an off-resonance state.
+* **Thermal hotspot attacks** (:mod:`repro.attacks.hotspot`) — HTs in the TO
+  tuning circuits overdrive heaters of whole MR banks; the resulting hotspot
+  shifts the resonance of the targeted bank and of its neighbours, corrupting
+  clusters of parameters.
+
+:mod:`repro.attacks.scenario` generates the paper's attack grid (1/5/10% of
+MRs, CONV/FC/both blocks, 10 random placements each) and
+:mod:`repro.attacks.injection` converts an attack outcome into corrupted
+model weights through the accelerator mapping.
+"""
+
+from repro.attacks.base import AttackOutcome, AttackSpec, BLOCKS, KINDS
+from repro.attacks.trojan import HardwareTrojan, TriggerMode
+from repro.attacks.actuation import ActuationAttack
+from repro.attacks.hotspot import HotspotAttack, HotspotAttackConfig
+from repro.attacks.scenario import AttackScenario, generate_scenarios, sample_outcome
+from repro.attacks.injection import attack_context, corrupted_state_dict
+
+__all__ = [
+    "AttackSpec",
+    "AttackOutcome",
+    "BLOCKS",
+    "KINDS",
+    "HardwareTrojan",
+    "TriggerMode",
+    "ActuationAttack",
+    "HotspotAttack",
+    "HotspotAttackConfig",
+    "AttackScenario",
+    "generate_scenarios",
+    "sample_outcome",
+    "attack_context",
+    "corrupted_state_dict",
+]

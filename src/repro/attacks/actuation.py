@@ -1,0 +1,62 @@
+"""MR actuation attacks (paper §III.B.1).
+
+HTs embedded in the EO signal-actuation circuits force individual microrings
+into an off-resonance state.  The attacker is assumed to place trojans at
+random locations in the accelerator substrate, so an attack instance is a
+uniformly random sample of MR slots covering the requested fraction of the
+targeted block(s).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.attacks.base import AttackOutcome, AttackSpec
+from repro.utils.rng import default_rng
+from repro.utils.validation import ValidationError
+
+__all__ = ["ActuationAttack"]
+
+
+class ActuationAttack:
+    """Randomly placed off-resonance attacks on individual MRs.
+
+    Parameters
+    ----------
+    spec:
+        Attack specification; ``spec.kind`` must be ``"actuation"``.
+    """
+
+    def __init__(self, spec: AttackSpec):
+        if spec.kind != "actuation":
+            raise ValidationError(f"ActuationAttack requires kind='actuation', got {spec.kind!r}")
+        self.spec = spec
+
+    def sample(
+        self,
+        config: AcceleratorConfig,
+        seed: int | np.random.Generator | None = 0,
+    ) -> AttackOutcome:
+        """Draw one random placement of the trojans.
+
+        For each targeted block, ``round(fraction * capacity)`` distinct MR
+        slots are selected uniformly at random (at least one when the
+        fraction is non-zero).
+        """
+        rng = default_rng(seed)
+        outcome = AttackOutcome(spec=self.spec, seed=_seed_of(seed))
+        for block in self.spec.blocks:
+            geometry = config.block(block)
+            num_attacked = max(1, int(round(self.spec.fraction * geometry.capacity)))
+            num_attacked = min(num_attacked, geometry.capacity)
+            slots = rng.choice(geometry.capacity, size=num_attacked, replace=False)
+            outcome.actuation_slots[block] = np.sort(slots.astype(np.int64))
+        return outcome
+
+
+def _seed_of(seed) -> int:
+    """Best-effort integer representation of the seed for bookkeeping."""
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    return -1

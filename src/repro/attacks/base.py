@@ -1,0 +1,101 @@
+"""Common attack data structures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import check_fraction, check_in_choices
+
+__all__ = ["KINDS", "BLOCKS", "AttackSpec", "AttackOutcome"]
+
+#: Supported attack kinds.
+KINDS = ("actuation", "hotspot")
+
+#: Supported attack targets: the CONV block, the FC block, or both.
+BLOCKS = ("conv", "fc", "both")
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """What the attacker does (before random placement).
+
+    Attributes
+    ----------
+    kind:
+        ``"actuation"`` (individual MRs off-resonance) or ``"hotspot"``
+        (heaters of whole banks overdriven).
+    target_block:
+        ``"conv"``, ``"fc"`` or ``"both"``.
+    fraction:
+        Fraction of the targeted block's MRs under attack (the paper's 1%,
+        5%, 10%).  For hotspot attacks the corresponding fraction of MR
+        *banks* is attacked, which targets the same fraction of MRs since a
+        bank is one row of MRs.
+    """
+
+    kind: str
+    target_block: str
+    fraction: float
+
+    def __post_init__(self) -> None:
+        check_in_choices(self.kind, "kind", KINDS)
+        check_in_choices(self.target_block, "target_block", BLOCKS)
+        check_fraction(self.fraction, "fraction")
+
+    @property
+    def blocks(self) -> tuple[str, ...]:
+        """The concrete blocks touched by this spec."""
+        if self.target_block == "both":
+            return ("conv", "fc")
+        return (self.target_block,)
+
+    def label(self) -> str:
+        """Short label used in result tables, e.g. ``hotspot-conv-5%``."""
+        return f"{self.kind}-{self.target_block}-{round(self.fraction * 100)}%"
+
+
+@dataclass
+class AttackOutcome:
+    """A concrete (placed) attack instance ready for injection.
+
+    Attributes
+    ----------
+    spec:
+        The attack specification this outcome realizes.
+    seed:
+        Random seed used for the placement.
+    actuation_slots:
+        For each block name, the flat MR slot indices forced off-resonance.
+    bank_delta_t:
+        For each block name, a mapping ``flat bank index -> temperature rise
+        [K]`` covering both directly attacked banks and heated neighbours.
+    attacked_banks:
+        For each block name, the bank indices whose heaters were directly
+        overdriven (subset of ``bank_delta_t`` keys).
+    """
+
+    spec: AttackSpec
+    seed: int = 0
+    actuation_slots: dict[str, np.ndarray] = field(default_factory=dict)
+    bank_delta_t: dict[str, dict[int, float]] = field(default_factory=dict)
+    attacked_banks: dict[str, tuple[int, ...]] = field(default_factory=dict)
+
+    def num_attacked_mrs(self, block: str, cols: int | None = None) -> int:
+        """Number of directly attacked MRs in ``block``.
+
+        For hotspot outcomes the count is ``attacked banks x cols`` and
+        ``cols`` must be provided.
+        """
+        if self.spec.kind == "actuation":
+            return int(len(self.actuation_slots.get(block, ())))
+        if cols is None:
+            raise ValueError("cols is required to count hotspot-attacked MRs")
+        return len(self.attacked_banks.get(block, ())) * cols
+
+    def is_empty(self) -> bool:
+        """True when the outcome touches no MRs at all."""
+        has_actuation = any(len(v) for v in self.actuation_slots.values())
+        has_thermal = any(len(v) for v in self.bank_delta_t.values())
+        return not has_actuation and not has_thermal

@@ -1,0 +1,136 @@
+"""Thermal hotspot attacks (paper §III.B.2, Figs. 5 and 6).
+
+HTs in the thermo-optic tuning circuits overdrive the heaters of the targeted
+MR banks.  The resulting steady-state temperature field (computed with the
+:mod:`repro.thermal` solver, the HotSpot substitute) raises the temperature of
+the attacked banks strongly and of their floorplan neighbours more weakly.
+Every affected bank's temperature rise is recorded in the attack outcome; the
+injection model converts it into a resonance shift via Eq. 2 and into
+corrupted parameter clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.attacks.base import AttackOutcome, AttackSpec
+from repro.thermal.floorplan import Floorplan
+from repro.thermal.grid_solver import GridThermalSolver, ThermalSolverConfig
+from repro.thermal.heatmap import simulate_hotspot_attack
+from repro.utils.rng import default_rng
+from repro.utils.validation import ValidationError, check_positive
+
+__all__ = ["HotspotAttackConfig", "HotspotAttack"]
+
+
+@dataclass(frozen=True)
+class HotspotAttackConfig:
+    """Physical parameters of the hotspot attack.
+
+    Attributes
+    ----------
+    heater_power_mw:
+        Extra heater power dissipated in each attacked bank.
+    baseline_power_mw:
+        Nominal per-bank tuning power (background heat).
+    min_rise_k:
+        Banks whose temperature rise stays below this threshold are
+        considered unaffected and are dropped from the outcome.
+    attacked_bank_min_rise_k:
+        Minimum temperature rise of a *directly attacked* bank.  The attacker
+        sizes the trojan's heater drive to guarantee at least a one-channel
+        resonance shift regardless of die size or heat sinking, so the solved
+        rise of attacked banks is clamped from below to this value (the
+        thermal field still determines how strongly neighbours are heated).
+    grid_rows, grid_cols:
+        Thermal solver grid resolution.
+    """
+
+    heater_power_mw: float = 300.0
+    baseline_power_mw: float = 1.0
+    min_rise_k: float = 1.0
+    attacked_bank_min_rise_k: float = 16.0
+    grid_rows: int = 48
+    grid_cols: int = 48
+
+    def __post_init__(self) -> None:
+        check_positive(self.heater_power_mw, "heater_power_mw")
+        check_positive(self.min_rise_k, "min_rise_k")
+        check_positive(self.attacked_bank_min_rise_k, "attacked_bank_min_rise_k")
+
+
+class HotspotAttack:
+    """Randomly placed heater-overdrive attacks on whole MR banks.
+
+    Parameters
+    ----------
+    spec:
+        Attack specification; ``spec.kind`` must be ``"hotspot"``.
+    config:
+        Physical attack parameters (heater power, thermal grid).
+    """
+
+    def __init__(self, spec: AttackSpec, config: HotspotAttackConfig | None = None):
+        if spec.kind != "hotspot":
+            raise ValidationError(f"HotspotAttack requires kind='hotspot', got {spec.kind!r}")
+        self.spec = spec
+        self.attack_config = config or HotspotAttackConfig()
+
+    def sample(
+        self,
+        config: AcceleratorConfig,
+        seed: int | np.random.Generator | None = 0,
+    ) -> AttackOutcome:
+        """Draw one random bank placement and solve the thermal field.
+
+        For each targeted block, ``round(fraction * num_banks)`` banks are
+        chosen uniformly at random and their heaters overdriven; the solver
+        then yields the per-bank temperature rise across the whole block.
+        """
+        rng = default_rng(seed)
+        outcome = AttackOutcome(spec=self.spec, seed=_seed_of(seed))
+        for block in self.spec.blocks:
+            geometry = config.block(block)
+            num_banks = max(1, int(round(self.spec.fraction * geometry.num_banks)))
+            num_banks = min(num_banks, geometry.num_banks)
+            attacked = np.sort(rng.choice(geometry.num_banks, size=num_banks, replace=False))
+            heat = self._solve_block(geometry.num_banks, attacked)
+            heat[attacked] = np.maximum(
+                heat[attacked], self.attack_config.attacked_bank_min_rise_k
+            )
+            affected = {
+                int(bank): float(rise)
+                for bank, rise in enumerate(heat)
+                if rise >= self.attack_config.min_rise_k
+            }
+            outcome.attacked_banks[block] = tuple(int(b) for b in attacked)
+            outcome.bank_delta_t[block] = affected
+        return outcome
+
+    def _solve_block(self, num_banks: int, attacked: np.ndarray) -> np.ndarray:
+        """Per-bank temperature rise for one block."""
+        floorplan = Floorplan(num_banks=num_banks)
+        solver = GridThermalSolver(
+            ThermalSolverConfig(
+                grid_rows=self.attack_config.grid_rows,
+                grid_cols=self.attack_config.grid_cols,
+            )
+        )
+        result = simulate_hotspot_attack(
+            floorplan,
+            attacked_banks=[int(b) for b in attacked],
+            heater_power_mw=self.attack_config.heater_power_mw,
+            baseline_power_mw=self.attack_config.baseline_power_mw,
+            solver=solver,
+        )
+        return result.bank_temperature_rise_k
+
+
+def _seed_of(seed) -> int:
+    """Best-effort integer representation of the seed for bookkeeping."""
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    return -1

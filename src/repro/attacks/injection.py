@@ -1,0 +1,209 @@
+"""Attack injection: converting an attack outcome into corrupted weights.
+
+The functional attack model mirrors what the physical substrate does to each
+mapped weight.  Weight banks use the add-drop configuration: each ring
+couples a fraction of its carrier — equal to the normalized weight magnitude
+— onto the drop bus feeding the photodetector (see
+:class:`repro.photonics.mr_bank.MRBank` with ``encoding="drop"``).
+
+* **Actuation attack** — the weight MR is pushed far off resonance, so it no
+  longer couples its carrier to the detector: the normalized magnitude
+  collapses to ≈0 regardless of the programmed value (the electronic sign
+  path is unaffected but irrelevant once the magnitude is gone).
+* **Thermal hotspot attack** — every MR in an affected bank shifts its
+  resonance by ``delta_lambda`` (Eq. 2).  A shift of ``k`` whole channels
+  re-pairs each ring with the carrier ``k`` positions later, so carrier ``j``
+  is dropped with the magnitude programmed for column ``j - k`` (the first
+  ``k`` carriers are dropped by no ring and contribute ≈0).  The sub-channel
+  residual shift detunes the ring partially, scaling the coupled magnitude
+  down following the Lorentzian drop-port response.  Banks that are heated
+  only indirectly (floorplan neighbours) are partially protected by their own
+  thermo-optic tuning loops, which can compensate a bounded temperature rise;
+  directly attacked banks get no such protection because the HT controls
+  their heater.
+
+Injection operates on the weight-stationary mapping: a compromised MR corrupts
+the weight it hosts in *every* mapping round, which is how a fixed number of
+trojans damages large multi-round models disproportionately.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.accelerator.mapping import MappedParameter, WeightMapping
+from repro.attacks.base import AttackOutcome
+from repro.nn.module import Module
+from repro.photonics import constants
+from repro.photonics.thermal_sensitivity import ThermalSensitivity
+
+__all__ = [
+    "corrupted_state_dict",
+    "attack_context",
+    "OFF_RESONANCE_MAGNITUDE",
+    "DEFAULT_TUNING_COMPENSATION_K",
+]
+
+#: Normalized magnitude coupled to the detector by an off-resonance ring
+#: (drop-port transmission several linewidths away from the carrier).
+OFF_RESONANCE_MAGNITUDE = 0.002
+
+#: Temperature rise [K] a non-attacked bank's own thermo-optic tuning loop can
+#: compensate before its rings start to drift (paper §III.B.2: "the tuning
+#: circuit is usually designed to manage minor temperature fluctuations").
+DEFAULT_TUNING_COMPENSATION_K = 8.0
+
+
+def corrupted_state_dict(
+    model: Module,
+    mapping: WeightMapping,
+    outcome: AttackOutcome,
+    sensitivity: ThermalSensitivity | None = None,
+    tuning_compensation_k: float = DEFAULT_TUNING_COMPENSATION_K,
+) -> dict[str, np.ndarray]:
+    """Return a full state dict with the attack applied to the mapped weights.
+
+    Unmapped parameters (biases, batch-norm) are returned unchanged.
+    """
+    sensitivity = sensitivity or ThermalSensitivity()
+    state = model.state_dict()
+    for mapped in mapping.parameters:
+        original = state[mapped.name]
+        corrupted = _corrupt_tensor(
+            original, mapped, mapping, outcome, sensitivity, tuning_compensation_k
+        )
+        state[mapped.name] = corrupted
+    return state
+
+
+@contextmanager
+def attack_context(
+    model: Module,
+    mapping: WeightMapping,
+    outcome: AttackOutcome,
+    sensitivity: ThermalSensitivity | None = None,
+    tuning_compensation_k: float = DEFAULT_TUNING_COMPENSATION_K,
+):
+    """Temporarily load the corrupted weights into ``model``.
+
+    Usage::
+
+        with attack_context(model, mapping, outcome):
+            accuracy = evaluate_accuracy(model, test_set)
+        # weights restored here
+    """
+    clean = model.state_dict()
+    try:
+        model.load_state_dict(
+            corrupted_state_dict(model, mapping, outcome, sensitivity, tuning_compensation_k)
+        )
+        yield model
+    finally:
+        model.load_state_dict(clean)
+
+
+# --------------------------------------------------------------------------- internals
+def _corrupt_tensor(
+    values: np.ndarray,
+    mapped: MappedParameter,
+    mapping: WeightMapping,
+    outcome: AttackOutcome,
+    sensitivity: ThermalSensitivity,
+    tuning_compensation_k: float,
+) -> np.ndarray:
+    """Apply the attack outcome to one mapped weight tensor."""
+    block = mapped.kind
+    flat = np.asarray(values, dtype=np.float32).reshape(-1).copy()
+    signs = np.sign(flat)
+    signs[signs == 0] = 1.0
+    magnitudes = mapping.normalize(mapped, flat)
+    geometry = mapping.block_geometry(block)
+    slots = mapping.slots_for(mapped)
+
+    # --- actuation attacks: the hosted weights no longer reach the detector.
+    attacked_slots = outcome.actuation_slots.get(block)
+    if attacked_slots is not None and len(attacked_slots):
+        hit = np.isin(slots, attacked_slots)
+        magnitudes[hit] = OFF_RESONANCE_MAGNITUDE
+
+    # --- hotspot attacks: shift whole banks.
+    bank_delta_t = outcome.bank_delta_t.get(block)
+    if bank_delta_t:
+        banks = slots // geometry.cols
+        cols = slots % geometry.cols
+        magnitudes = _apply_hotspot(
+            magnitudes,
+            banks,
+            cols,
+            bank_delta_t,
+            set(outcome.attacked_banks.get(block, ())),
+            geometry.num_banks,
+            mapping.config.channel_spacing_nm,
+            constants.C_BAND_CENTER_NM / mapping.config.q_factor,
+            sensitivity,
+            tuning_compensation_k,
+        )
+    corrupted = mapping.denormalize(mapped, magnitudes, signs)
+    return corrupted.reshape(mapped.shape).astype(np.float32)
+
+
+def _apply_hotspot(
+    magnitudes: np.ndarray,
+    banks: np.ndarray,
+    cols: np.ndarray,
+    bank_delta_t: dict[int, float],
+    directly_attacked: set[int],
+    num_banks: int,
+    spacing_nm: float,
+    linewidth_nm: float,
+    sensitivity: ThermalSensitivity,
+    tuning_compensation_k: float,
+) -> np.ndarray:
+    """Vectorized hotspot corruption of one flattened weight tensor.
+
+    Each affected bank's temperature rise is converted into a resonance shift
+    (Eq. 2).  Non-attacked banks first subtract the rise their own tuning
+    loops can absorb.  The whole-channel part of the shift re-pairs every
+    ring in the bank with the carrier ``k`` positions later — because the
+    weight-stationary layout assigns consecutive columns to consecutive flat
+    indices, carrier ``j``'s magnitude comes from flat index ``i - k`` when
+    the source column stays inside the bank, and collapses to ≈0 otherwise.
+    The sub-channel residual shift scales the coupled magnitude down
+    following the Lorentzian drop-port response.
+    """
+    delta_t_per_bank = np.zeros(num_banks)
+    for bank_index, delta_t in bank_delta_t.items():
+        if not 0 <= bank_index < num_banks:
+            continue
+        effective = float(delta_t)
+        if bank_index not in directly_attacked:
+            effective = max(0.0, effective - tuning_compensation_k)
+        delta_t_per_bank[bank_index] = effective
+    delta_t = delta_t_per_bank[banks]
+    affected = delta_t > 0
+    if not np.any(affected):
+        return magnitudes
+
+    shift_nm = sensitivity.shift_per_kelvin(constants.C_BAND_CENTER_NM) * delta_t
+    channel_shift = np.floor(shift_nm / spacing_nm + 0.5).astype(np.int64)
+    residual_nm = shift_nm - channel_shift * spacing_nm
+
+    indices = np.arange(magnitudes.size)
+    source_indices = indices - channel_shift
+    valid_source = (
+        (cols >= channel_shift) & (source_indices >= 0) & (source_indices < magnitudes.size)
+    )
+    shifted = np.where(
+        valid_source,
+        magnitudes[np.clip(source_indices, 0, magnitudes.size - 1)],
+        OFF_RESONANCE_MAGNITUDE,
+    )
+    # Partial detuning reduces how much of the (possibly re-paired) magnitude
+    # is actually coupled to the detector.
+    lorentz = 1.0 / (1.0 + (2.0 * residual_nm / linewidth_nm) ** 2)
+    attacked_values = shifted * lorentz
+    result = magnitudes.copy()
+    result[affected] = attacked_values[affected]
+    return result

@@ -1,0 +1,87 @@
+"""Attack scenario grid generation (paper §IV).
+
+The susceptibility analysis evaluates nine scenarios per attack kind: the
+fractions {1%, 5%, 10%} applied to the CONV block, the FC block, and the full
+accelerator (CONV + FC), each repeated for 10 uniformly random trojan
+placements.  :func:`generate_scenarios` produces that grid (or any reduced
+version of it) and :func:`sample_outcome` materializes a single scenario into
+a placed :class:`~repro.attacks.base.AttackOutcome`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.attacks.actuation import ActuationAttack
+from repro.attacks.base import BLOCKS, KINDS, AttackOutcome, AttackSpec
+from repro.attacks.hotspot import HotspotAttack, HotspotAttackConfig
+from repro.utils.rng import RngFactory
+
+__all__ = ["AttackScenario", "generate_scenarios", "sample_outcome",
+           "DEFAULT_FRACTIONS", "DEFAULT_NUM_PLACEMENTS"]
+
+#: Attack intensities evaluated in the paper.
+DEFAULT_FRACTIONS = (0.01, 0.05, 0.10)
+
+#: Random trojan placements simulated per intensity in the paper.
+DEFAULT_NUM_PLACEMENTS = 10
+
+
+@dataclass(frozen=True)
+class AttackScenario:
+    """One point of the attack grid: a spec plus a placement seed."""
+
+    spec: AttackSpec
+    placement: int
+    seed: int
+
+    def label(self) -> str:
+        """E.g. ``hotspot-conv-5%#3``."""
+        return f"{self.spec.label()}#{self.placement}"
+
+
+def generate_scenarios(
+    kinds: Sequence[str] = KINDS,
+    blocks: Sequence[str] = BLOCKS,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    num_placements: int = DEFAULT_NUM_PLACEMENTS,
+    master_seed: int = 0,
+) -> list[AttackScenario]:
+    """Generate the full attack grid.
+
+    Seeds are derived deterministically from ``master_seed`` and the scenario
+    coordinates, so the same grid is produced on every call.
+    """
+    factory = RngFactory(seed=master_seed)
+    scenarios: list[AttackScenario] = []
+    for kind in kinds:
+        for block in blocks:
+            for fraction in fractions:
+                for placement in range(num_placements):
+                    spec = AttackSpec(kind=kind, target_block=block, fraction=fraction)
+                    seed = factory.child_seed(f"{spec.label()}#{placement}")
+                    scenarios.append(AttackScenario(spec=spec, placement=placement, seed=seed))
+    return scenarios
+
+
+def sample_outcome(
+    scenario: AttackScenario,
+    config: AcceleratorConfig,
+    hotspot_config: HotspotAttackConfig | None = None,
+) -> AttackOutcome:
+    """Materialize one scenario into a placed attack outcome."""
+    if scenario.spec.kind == "actuation":
+        attack = ActuationAttack(scenario.spec)
+        return attack.sample(config, seed=scenario.seed)
+    attack = HotspotAttack(scenario.spec, config=hotspot_config)
+    return attack.sample(config, seed=scenario.seed)
+
+
+def scenarios_by_spec(scenarios: Iterable[AttackScenario]) -> dict[str, list[AttackScenario]]:
+    """Group scenarios by their spec label (used by the reporting code)."""
+    grouped: dict[str, list[AttackScenario]] = {}
+    for scenario in scenarios:
+        grouped.setdefault(scenario.spec.label(), []).append(scenario)
+    return grouped

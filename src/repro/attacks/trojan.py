@@ -1,0 +1,74 @@
+"""Hardware-trojan circuit model: trigger and payload.
+
+An HT consists of a *trigger* (the condition that activates it) and a
+*payload* (the malicious effect).  The susceptibility analysis in the paper
+assumes triggered (active) trojans; this module models the trigger logic so
+integration tests and examples can also exercise dormant trojans and
+trigger-dependent behaviour (e.g. activation after a number of inferences,
+mimicking the image-count triggers of memory-trojan attacks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.utils.validation import check_in_choices, check_positive_int
+
+__all__ = ["TriggerMode", "HardwareTrojan"]
+
+
+class TriggerMode(Enum):
+    """How the trojan decides to fire its payload."""
+
+    ALWAYS_ON = "always_on"
+    INFERENCE_COUNT = "inference_count"
+    EXTERNAL = "external"
+
+
+@dataclass
+class HardwareTrojan:
+    """A single HT instance attached to one MR's peripheral circuit.
+
+    Attributes
+    ----------
+    payload:
+        ``"actuation"`` (EO circuit, forces off-resonance) or ``"heater"``
+        (TO circuit, overdrives the heater).
+    trigger_mode:
+        Condition activating the payload.
+    trigger_count:
+        For ``INFERENCE_COUNT`` triggers, the number of inferences after
+        which the trojan fires.
+    """
+
+    payload: str = "actuation"
+    trigger_mode: TriggerMode = TriggerMode.ALWAYS_ON
+    trigger_count: int = 1
+    _observed_inferences: int = field(default=0, repr=False)
+    _externally_armed: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_in_choices(self.payload, "payload", ("actuation", "heater"))
+        check_positive_int(self.trigger_count, "trigger_count")
+
+    def observe_inference(self) -> None:
+        """Record that one inference passed through the compromised datapath."""
+        self._observed_inferences += 1
+
+    def arm(self) -> None:
+        """Externally arm the trojan (EXTERNAL trigger mode)."""
+        self._externally_armed = True
+
+    def disarm(self) -> None:
+        """Externally disarm the trojan."""
+        self._externally_armed = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the payload is currently active."""
+        if self.trigger_mode is TriggerMode.ALWAYS_ON:
+            return True
+        if self.trigger_mode is TriggerMode.INFERENCE_COUNT:
+            return self._observed_inferences >= self.trigger_count
+        return self._externally_armed

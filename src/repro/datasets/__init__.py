@@ -1,0 +1,44 @@
+"""Synthetic stand-ins for the paper's datasets (MNIST, CIFAR-10, Imagenette).
+
+The SafeLight evaluation uses MNIST, CIFAR-10 and Imagenette.  Network access
+is unavailable in this reproduction environment, so each dataset is replaced
+by a deterministic *procedural* generator that produces class-separable images
+of the same shape and channel count.  The susceptibility and mitigation
+analyses measure relative accuracy change under weight corruption, which is
+preserved under this substitution (see DESIGN.md, "Substitutions").
+"""
+
+from repro.datasets.base import DataLoader, Dataset, DatasetSplit, train_test_split
+from repro.datasets.synthetic_mnist import SyntheticMNIST, make_mnist_like
+from repro.datasets.synthetic_cifar import SyntheticCIFAR10, make_cifar10_like
+from repro.datasets.synthetic_imagenette import SyntheticImagenette, make_imagenette_like
+from repro.datasets.transforms import (
+    Compose,
+    Normalize,
+    OneHot,
+    RandomHorizontalFlip,
+    RandomTranslate,
+    to_one_hot,
+)
+from repro.datasets.registry import DATASET_REGISTRY, load_dataset
+
+__all__ = [
+    "Dataset",
+    "DatasetSplit",
+    "DataLoader",
+    "train_test_split",
+    "SyntheticMNIST",
+    "SyntheticCIFAR10",
+    "SyntheticImagenette",
+    "make_mnist_like",
+    "make_cifar10_like",
+    "make_imagenette_like",
+    "Compose",
+    "Normalize",
+    "OneHot",
+    "RandomHorizontalFlip",
+    "RandomTranslate",
+    "to_one_hot",
+    "DATASET_REGISTRY",
+    "load_dataset",
+]

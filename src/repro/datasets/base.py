@@ -1,0 +1,201 @@
+"""Dataset containers and mini-batch iteration.
+
+The NN framework in :mod:`repro.nn` consumes images in ``NCHW`` layout
+(batch, channels, height, width) as ``float32`` arrays and integer class
+labels.  :class:`Dataset` is a thin immutable container over such arrays;
+:class:`DataLoader` provides shuffled mini-batch iteration with a dedicated
+RNG so epochs are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.utils.rng import default_rng
+from repro.utils.validation import ValidationError, check_positive_int
+
+__all__ = ["Dataset", "DatasetSplit", "DataLoader", "train_test_split"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An in-memory labelled image dataset.
+
+    Parameters
+    ----------
+    images:
+        ``float32`` array of shape ``(num_samples, channels, height, width)``.
+    labels:
+        Integer array of shape ``(num_samples,)`` with values in
+        ``[0, num_classes)``.
+    num_classes:
+        Number of distinct classes.
+    name:
+        Human-readable dataset name (used in reports).
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+    num_classes: int
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        images = np.asarray(self.images, dtype=np.float32)
+        labels = np.asarray(self.labels, dtype=np.int64)
+        if images.ndim != 4:
+            raise ValidationError(
+                f"images must be NCHW (4-D), got shape {images.shape}"
+            )
+        if labels.ndim != 1:
+            raise ValidationError(f"labels must be 1-D, got shape {labels.shape}")
+        if images.shape[0] != labels.shape[0]:
+            raise ValidationError(
+                f"images ({images.shape[0]}) and labels ({labels.shape[0]}) "
+                "must have the same number of samples"
+            )
+        check_positive_int(self.num_classes, "num_classes")
+        if labels.size and (labels.min() < 0 or labels.max() >= self.num_classes):
+            raise ValidationError(
+                f"labels must lie in [0, {self.num_classes}), "
+                f"got range [{labels.min()}, {labels.max()}]"
+            )
+        object.__setattr__(self, "images", images)
+        object.__setattr__(self, "labels", labels)
+
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    @property
+    def image_shape(self) -> tuple[int, int, int]:
+        """Shape of a single image as ``(channels, height, width)``."""
+        return tuple(self.images.shape[1:])  # type: ignore[return-value]
+
+    def __getitem__(self, index) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(images, labels)`` for an integer index or slice/array."""
+        return self.images[index], self.labels[index]
+
+    def subset(self, indices: np.ndarray, name: str | None = None) -> "Dataset":
+        """Return a new :class:`Dataset` restricted to ``indices``."""
+        indices = np.asarray(indices)
+        return Dataset(
+            images=self.images[indices],
+            labels=self.labels[indices],
+            num_classes=self.num_classes,
+            name=name or self.name,
+        )
+
+    def class_counts(self) -> np.ndarray:
+        """Return per-class sample counts (length ``num_classes``)."""
+        return np.bincount(self.labels, minlength=self.num_classes)
+
+    def map_images(self, fn: Callable[[np.ndarray], np.ndarray]) -> "Dataset":
+        """Return a new dataset with ``fn`` applied to the full image tensor."""
+        return Dataset(
+            images=np.asarray(fn(self.images), dtype=np.float32),
+            labels=self.labels,
+            num_classes=self.num_classes,
+            name=self.name,
+        )
+
+
+@dataclass(frozen=True)
+class DatasetSplit:
+    """A train/test split of a dataset."""
+
+    train: Dataset
+    test: Dataset
+
+    @property
+    def num_classes(self) -> int:
+        return self.train.num_classes
+
+
+def train_test_split(
+    dataset: Dataset,
+    test_fraction: float = 0.2,
+    seed: int | np.random.Generator | None = 0,
+) -> DatasetSplit:
+    """Split ``dataset`` into train/test partitions with stratified sampling.
+
+    Stratification keeps the class balance of both partitions equal, which
+    keeps the small synthetic datasets learnable even at a few hundred
+    samples.
+    """
+    if not 0 < test_fraction < 1:
+        raise ValidationError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = default_rng(seed)
+    test_indices: list[np.ndarray] = []
+    train_indices: list[np.ndarray] = []
+    for cls in range(dataset.num_classes):
+        cls_idx = np.flatnonzero(dataset.labels == cls)
+        rng.shuffle(cls_idx)
+        n_test = max(1, int(round(len(cls_idx) * test_fraction))) if len(cls_idx) else 0
+        test_indices.append(cls_idx[:n_test])
+        train_indices.append(cls_idx[n_test:])
+    train_idx = np.concatenate(train_indices) if train_indices else np.array([], dtype=int)
+    test_idx = np.concatenate(test_indices) if test_indices else np.array([], dtype=int)
+    rng.shuffle(train_idx)
+    rng.shuffle(test_idx)
+    return DatasetSplit(
+        train=dataset.subset(train_idx, name=f"{dataset.name}-train"),
+        test=dataset.subset(test_idx, name=f"{dataset.name}-test"),
+    )
+
+
+class DataLoader:
+    """Mini-batch iterator over a :class:`Dataset`.
+
+    Parameters
+    ----------
+    dataset:
+        Source dataset.
+    batch_size:
+        Number of samples per batch; the final batch may be smaller unless
+        ``drop_last`` is set.
+    shuffle:
+        Reshuffle sample order at the start of every epoch.
+    seed:
+        Seed (or generator) driving the shuffle order.
+    transform:
+        Optional callable applied to each image batch (e.g. augmentation).
+    drop_last:
+        Drop the final incomplete batch.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        seed: int | np.random.Generator | None = 0,
+        transform: Callable[[np.ndarray, np.random.Generator], np.ndarray] | None = None,
+        drop_last: bool = False,
+    ) -> None:
+        self.dataset = dataset
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.transform = transform
+        self._rng = default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return int(np.ceil(n / self.batch_size))
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch_idx = indices[start : start + self.batch_size]
+            if self.drop_last and len(batch_idx) < self.batch_size:
+                break
+            images, labels = self.dataset[batch_idx]
+            if self.transform is not None:
+                images = self.transform(images, self._rng)
+            yield images, labels

@@ -1,0 +1,30 @@
+"""Dataset registry keyed by the names used in the paper's Table I."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets.base import Dataset
+from repro.datasets.synthetic_cifar import make_cifar10_like
+from repro.datasets.synthetic_imagenette import make_imagenette_like
+from repro.datasets.synthetic_mnist import make_mnist_like
+from repro.utils.validation import check_in_choices
+
+__all__ = ["DATASET_REGISTRY", "load_dataset"]
+
+# Maps the dataset names from Table I to the synthetic generator used here.
+DATASET_REGISTRY: dict[str, Callable[..., Dataset]] = {
+    "mnist": make_mnist_like,
+    "cifar10": make_cifar10_like,
+    "imagenette": make_imagenette_like,
+}
+
+
+def load_dataset(name: str, num_samples: int = 1000, seed: int = 0, **kwargs) -> Dataset:
+    """Load a synthetic dataset by its paper name (``mnist``/``cifar10``/``imagenette``).
+
+    Extra keyword arguments are forwarded to the generator (e.g. ``image_size``
+    for the Imagenette stand-in).
+    """
+    key = check_in_choices(name.lower(), "name", DATASET_REGISTRY)
+    return DATASET_REGISTRY[key](num_samples=num_samples, seed=seed, **kwargs)

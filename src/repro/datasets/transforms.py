@@ -1,0 +1,115 @@
+"""Image transforms and label encodings used by the training pipelines."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.utils.rng import default_rng
+from repro.utils.validation import ValidationError, check_positive_int
+
+__all__ = [
+    "Compose",
+    "Normalize",
+    "RandomHorizontalFlip",
+    "RandomTranslate",
+    "OneHot",
+    "to_one_hot",
+]
+
+
+class Compose:
+    """Apply a sequence of transforms in order.
+
+    Every transform must accept ``(images, rng)`` and return the transformed
+    image batch, matching the :class:`repro.datasets.base.DataLoader`
+    ``transform`` contract.
+    """
+
+    def __init__(self, transforms: Sequence[Callable[[np.ndarray, np.random.Generator], np.ndarray]]):
+        self.transforms = list(transforms)
+
+    def __call__(self, images: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+        rng = default_rng(rng)
+        for transform in self.transforms:
+            images = transform(images, rng)
+        return images
+
+
+class Normalize:
+    """Normalize images per channel: ``(x - mean) / std``."""
+
+    def __init__(self, mean: Sequence[float] | float, std: Sequence[float] | float):
+        self.mean = np.atleast_1d(np.asarray(mean, dtype=np.float32))
+        self.std = np.atleast_1d(np.asarray(std, dtype=np.float32))
+        if np.any(self.std <= 0):
+            raise ValidationError("std values must be strictly positive")
+
+    def __call__(self, images: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+        images = np.asarray(images, dtype=np.float32)
+        channels = images.shape[1]
+        mean = np.broadcast_to(self.mean, (channels,)).reshape(1, channels, 1, 1)
+        std = np.broadcast_to(self.std, (channels,)).reshape(1, channels, 1, 1)
+        return (images - mean) / std
+
+
+class RandomHorizontalFlip:
+    """Flip each image left-right with probability ``p`` (training augmentation)."""
+
+    def __init__(self, p: float = 0.5):
+        if not 0 <= p <= 1:
+            raise ValidationError(f"p must be in [0, 1], got {p}")
+        self.p = p
+
+    def __call__(self, images: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+        rng = default_rng(rng)
+        images = np.asarray(images, dtype=np.float32).copy()
+        flip_mask = rng.random(images.shape[0]) < self.p
+        images[flip_mask] = images[flip_mask, :, :, ::-1]
+        return images
+
+
+class RandomTranslate:
+    """Translate each image by up to ``max_shift`` pixels (zero-padded)."""
+
+    def __init__(self, max_shift: int = 2):
+        self.max_shift = check_positive_int(max_shift, "max_shift")
+
+    def __call__(self, images: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+        rng = default_rng(rng)
+        images = np.asarray(images, dtype=np.float32)
+        out = np.zeros_like(images)
+        height, width = images.shape[2], images.shape[3]
+        shifts = rng.integers(-self.max_shift, self.max_shift + 1, size=(images.shape[0], 2))
+        for idx, (dy, dx) in enumerate(shifts):
+            src_y = slice(max(0, -dy), min(height, height - dy))
+            dst_y = slice(max(0, dy), min(height, height + dy))
+            src_x = slice(max(0, -dx), min(width, width - dx))
+            dst_x = slice(max(0, dx), min(width, width + dx))
+            out[idx, :, dst_y, dst_x] = images[idx, :, src_y, src_x]
+        return out
+
+
+class OneHot:
+    """Encode integer labels as one-hot rows."""
+
+    def __init__(self, num_classes: int):
+        self.num_classes = check_positive_int(num_classes, "num_classes")
+
+    def __call__(self, labels: np.ndarray) -> np.ndarray:
+        return to_one_hot(labels, self.num_classes)
+
+
+def to_one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Return a ``(len(labels), num_classes)`` one-hot float32 matrix."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValidationError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValidationError(
+            f"labels must lie in [0, {num_classes}), got [{labels.min()}, {labels.max()}]"
+        )
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float32)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded

@@ -1,0 +1,40 @@
+"""Software-based HT-attack mitigation (paper §V).
+
+Two training-time techniques make the CNN models robust to the parameter
+corruption caused by HT attacks:
+
+* **L2 regularization** (:mod:`repro.mitigation.l2_regularization`) — the
+  squared-weight penalty keeps neuron magnitudes small and balanced, so the
+  relative strength of output neurons survives the corruption noise.
+* **Gaussian noise-aware training** (:mod:`repro.mitigation.noise_aware`) —
+  noise injected into model layers (and weights) during training teaches the
+  model to tolerate parameter perturbations.
+
+:mod:`repro.mitigation.robust_training` builds the paper's model-variant grid
+(Original, L2_reg, l2+n1 .. l2+n9) and :mod:`repro.mitigation.selection`
+identifies the most robust variant per model from attack-evaluation results.
+"""
+
+from repro.mitigation.l2_regularization import L2Config, l2_training_config
+from repro.mitigation.noise_aware import NoiseAwareConfig, noise_aware_training_config
+from repro.mitigation.robust_training import (
+    VariantResult,
+    VariantSpec,
+    default_variant_grid,
+    train_variant,
+    train_variant_grid,
+)
+from repro.mitigation.selection import select_most_robust
+
+__all__ = [
+    "L2Config",
+    "l2_training_config",
+    "NoiseAwareConfig",
+    "noise_aware_training_config",
+    "VariantSpec",
+    "VariantResult",
+    "default_variant_grid",
+    "train_variant",
+    "train_variant_grid",
+    "select_most_robust",
+]

@@ -1,0 +1,47 @@
+"""L2 regularization as an HT-attack mitigation (paper §V.A).
+
+The paper adds the penalty ``R(w) = (lambda / 2m) * sum(||w||^2)`` to the
+training loss.  In this framework the penalty gradient is applied by the
+optimizer as weight decay on conv/fc weights (mathematically identical for
+SGD-family optimizers), and the penalty value itself can be reported with
+:func:`repro.nn.losses.l2_penalty`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.nn.training import TrainingConfig
+
+__all__ = ["L2Config", "l2_training_config", "DEFAULT_LAMBDA"]
+
+#: Default regularization strength; chosen so the penalty is a few percent of
+#: the task loss for the scaled models (the paper does not publish its value).
+DEFAULT_LAMBDA = 5e-4
+
+
+@dataclass(frozen=True)
+class L2Config:
+    """L2 regularization hyper-parameters.
+
+    Attributes
+    ----------
+    weight_decay:
+        The paper's ``lambda`` coefficient.
+    """
+
+    weight_decay: float = DEFAULT_LAMBDA
+
+    def __post_init__(self) -> None:
+        if self.weight_decay < 0:
+            raise ValueError(f"weight_decay must be non-negative, got {self.weight_decay}")
+
+    @property
+    def enabled(self) -> bool:
+        return self.weight_decay > 0
+
+
+def l2_training_config(base: TrainingConfig, l2: L2Config | None = None) -> TrainingConfig:
+    """Return a copy of ``base`` with L2 regularization enabled."""
+    l2 = l2 or L2Config()
+    return replace(base, weight_decay=l2.weight_decay)

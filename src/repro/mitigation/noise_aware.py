@@ -1,0 +1,75 @@
+"""Gaussian noise-aware training as an HT-attack mitigation (paper §V.B).
+
+Noise-aware training injects random Gaussian noise during training so the
+learned weights tolerate the (unpredictable) parameter corruption that HT
+attacks introduce at inference time.  The paper trains nine variants with
+noise standard deviations 0.1 .. 0.9.
+
+Two injection sites are supported and can be combined:
+
+* **activation noise** — :class:`repro.nn.layers.noise.GaussianNoise` layers
+  inserted into the model (controlled by the model constructors'
+  ``noise_std`` argument);
+* **weight noise** — relative Gaussian perturbation of conv/fc weights on
+  every training forward pass (``TrainingConfig.weight_noise_std``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.nn.training import TrainingConfig
+
+__all__ = ["NoiseAwareConfig", "noise_aware_training_config", "PAPER_NOISE_LEVELS"]
+
+#: The noise standard deviations swept in the paper (variants n1 .. n9).
+PAPER_NOISE_LEVELS = tuple(round(0.1 * i, 1) for i in range(1, 10))
+
+
+@dataclass(frozen=True)
+class NoiseAwareConfig:
+    """Noise-aware training hyper-parameters.
+
+    Attributes
+    ----------
+    std:
+        Gaussian noise standard deviation (the paper's 0.1 .. 0.9 sweep).
+    inject_activations:
+        Insert Gaussian-noise layers into the model.
+    inject_weights:
+        Perturb conv/fc weights during each training forward pass.
+    """
+
+    std: float = 0.1
+    inject_activations: bool = True
+    inject_weights: bool = True
+
+    def __post_init__(self) -> None:
+        if self.std < 0:
+            raise ValueError(f"std must be non-negative, got {self.std}")
+
+    @property
+    def enabled(self) -> bool:
+        return self.std > 0 and (self.inject_activations or self.inject_weights)
+
+    @property
+    def variant_suffix(self) -> str:
+        """Paper-style suffix, e.g. ``n3`` for std 0.3."""
+        return f"n{int(round(self.std * 10))}"
+
+    @property
+    def model_noise_std(self) -> float:
+        """``noise_std`` to pass to the model constructor."""
+        return self.std if self.inject_activations else 0.0
+
+    @property
+    def weight_noise_std(self) -> float:
+        """``weight_noise_std`` to pass to the training configuration."""
+        return self.std if self.inject_weights else 0.0
+
+
+def noise_aware_training_config(
+    base: TrainingConfig, noise: NoiseAwareConfig
+) -> TrainingConfig:
+    """Return a copy of ``base`` with weight-noise injection enabled."""
+    return replace(base, weight_noise_std=noise.weight_noise_std)

@@ -1,0 +1,75 @@
+"""Selecting the most robust model variant per workload (paper §VI, Fig. 9).
+
+The paper identifies the configuration with the best accuracy distribution
+across all attack scenarios (``l2+n3`` for the MNIST model, ``l2+n5`` for
+ResNet18, ``l2+n2`` for the VGG16 variant).  :func:`select_most_robust`
+implements that choice: variants are ranked by their median attacked accuracy,
+with the mean as the tie-breaker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RobustnessScore", "select_most_robust"]
+
+
+@dataclass(frozen=True)
+class RobustnessScore:
+    """Aggregate robustness of one variant across attack scenarios."""
+
+    variant: str
+    median_accuracy: float
+    mean_accuracy: float
+    worst_accuracy: float
+    spread: float
+
+    @property
+    def ranking_key(self) -> tuple[float, float]:
+        return (self.median_accuracy, self.mean_accuracy)
+
+
+def score_variant(variant: str, attacked_accuracies: np.ndarray) -> RobustnessScore:
+    """Summarize one variant's accuracy distribution across attack scenarios."""
+    values = np.asarray(attacked_accuracies, dtype=float)
+    if values.size == 0:
+        raise ValueError(f"variant {variant!r} has no attacked-accuracy samples")
+    return RobustnessScore(
+        variant=variant,
+        median_accuracy=float(np.median(values)),
+        mean_accuracy=float(np.mean(values)),
+        worst_accuracy=float(np.min(values)),
+        spread=float(np.percentile(values, 75) - np.percentile(values, 25)),
+    )
+
+
+def select_most_robust(
+    accuracy_by_variant: dict[str, np.ndarray],
+    exclude: tuple[str, ...] = ("Original",),
+) -> tuple[str, list[RobustnessScore]]:
+    """Pick the most robust variant from attacked-accuracy distributions.
+
+    Parameters
+    ----------
+    accuracy_by_variant:
+        Maps variant name → accuracies across all attack scenarios.
+    exclude:
+        Variants not eligible for selection (the baseline ``Original`` model
+        is reported but never selected as the "robust" model).
+
+    Returns
+    -------
+    The winning variant name and the scores of every candidate (sorted best
+    first), for reporting.
+    """
+    scores = [
+        score_variant(name, values)
+        for name, values in accuracy_by_variant.items()
+        if name not in exclude
+    ]
+    if not scores:
+        raise ValueError("no eligible variants to select from")
+    scores.sort(key=lambda score: score.ranking_key, reverse=True)
+    return scores[0].variant, scores

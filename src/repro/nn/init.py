@@ -1,0 +1,64 @@
+"""Weight-initialization schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import default_rng
+
+__all__ = ["he_normal", "he_uniform", "xavier_uniform", "xavier_normal", "zeros", "ones"]
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Compute fan-in/fan-out for dense (out, in) and conv (F, C, KH, KW) shapes."""
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+    elif len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        fan_in = fan_out = int(np.prod(shape)) if shape else 1
+    return max(fan_in, 1), max(fan_out, 1)
+
+
+def he_normal(shape: tuple[int, ...], rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """Kaiming-He normal initialization (suited for ReLU networks)."""
+    rng = default_rng(rng)
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def he_uniform(shape: tuple[int, ...], rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """Kaiming-He uniform initialization."""
+    rng = default_rng(rng)
+    fan_in, _ = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialization (suited for tanh/sigmoid networks)."""
+    rng = default_rng(rng)
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """Glorot/Xavier normal initialization."""
+    rng = default_rng(rng)
+    fan_in, fan_out = _fan_in_out(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero initialization (biases)."""
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    """All-one initialization (batch-norm scale)."""
+    return np.ones(shape, dtype=np.float32)

@@ -1,0 +1,28 @@
+"""Neural-network layers with explicit forward and backward passes."""
+
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.pooling import AvgPool2D, GlobalAvgPool2D, MaxPool2D
+from repro.nn.layers.activations import LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.layers.batchnorm import BatchNorm2D
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.flatten import Flatten
+from repro.nn.layers.noise import GaussianNoise
+from repro.nn.layers.sequential import Sequential
+
+__all__ = [
+    "Linear",
+    "Conv2D",
+    "MaxPool2D",
+    "AvgPool2D",
+    "GlobalAvgPool2D",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "BatchNorm2D",
+    "Dropout",
+    "Flatten",
+    "GaussianNoise",
+    "Sequential",
+]

@@ -1,0 +1,87 @@
+"""Batch normalization over NCHW feature maps."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.tensor import Parameter
+from repro.utils.validation import check_positive_int
+
+__all__ = ["BatchNorm2D"]
+
+
+class BatchNorm2D(Module):
+    """Per-channel batch normalization with running statistics.
+
+    During training the batch mean/variance are used and the running
+    statistics are updated with exponential smoothing (``momentum``); during
+    inference the running statistics are used.  Scale (``gamma``) and shift
+    (``beta``) parameters are tagged ``kind="other"`` — CrossLight-style
+    accelerators keep them in the electronic post-processing stage, so they
+    are never mapped onto MRs and HT attacks do not corrupt them.
+    """
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = check_positive_int(num_features, "num_features")
+        if not 0 < momentum < 1:
+            raise ValueError(f"momentum must be in (0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+        self.gamma = Parameter(init.ones((num_features,)), kind="other")
+        self.beta = Parameter(init.zeros((num_features,)), kind="other")
+        self.running_mean = np.zeros(num_features, dtype=np.float32)
+        self.running_var = np.ones(num_features, dtype=np.float32)
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm2D expects (N, {self.num_features}, H, W), got {x.shape}"
+            )
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (
+                (1.0 - self.momentum) * self.running_mean + self.momentum * mean
+            ).astype(np.float32)
+            self.running_var = (
+                (1.0 - self.momentum) * self.running_var + self.momentum * var
+            ).astype(np.float32)
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        out = self.gamma.data[None, :, None, None] * x_hat + self.beta.data[None, :, None, None]
+        self._cache = (x_hat, inv_std, x.shape)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std, input_shape = self._cache
+        grad_output = np.asarray(grad_output, dtype=np.float32)
+        batch, _, height, width = input_shape
+        count = batch * height * width
+
+        self.gamma.grad += (grad_output * x_hat).sum(axis=(0, 2, 3))
+        self.beta.grad += grad_output.sum(axis=(0, 2, 3))
+
+        grad_xhat = grad_output * self.gamma.data[None, :, None, None]
+        if self.training:
+            # Full batch-norm backward (batch statistics depend on x).
+            sum_grad = grad_xhat.sum(axis=(0, 2, 3), keepdims=True)
+            sum_grad_xhat = (grad_xhat * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+            grad_input = (
+                grad_xhat - sum_grad / count - x_hat * sum_grad_xhat / count
+            ) * inv_std[None, :, None, None]
+        else:
+            grad_input = grad_xhat * inv_std[None, :, None, None]
+        return grad_input.astype(np.float32)
+
+    def __repr__(self) -> str:
+        return f"BatchNorm2D(num_features={self.num_features}, momentum={self.momentum})"

@@ -1,0 +1,111 @@
+"""2-D convolution layer implemented via im2col."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.functional import col2im, im2col
+from repro.nn.module import Module
+from repro.nn.tensor import Parameter
+from repro.utils.rng import default_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["Conv2D"]
+
+
+class Conv2D(Module):
+    """2-D convolution over NCHW inputs.
+
+    The kernel tensor has shape ``(out_channels, in_channels, kh, kw)`` and is
+    tagged ``kind="conv"`` so the accelerator maps it onto the CONV block's
+    MR banks.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts.
+    kernel_size:
+        Square kernel side (int) or ``(kh, kw)`` tuple.
+    stride, padding:
+        Convolution stride and symmetric zero padding.
+    bias:
+        Include per-output-channel bias.
+    rng:
+        Seed or generator for weight initialization.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int | tuple[int, int] = 3,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | int | None = None,
+    ):
+        super().__init__()
+        self.in_channels = check_positive_int(in_channels, "in_channels")
+        self.out_channels = check_positive_int(out_channels, "out_channels")
+        if isinstance(kernel_size, int):
+            kernel_size = (kernel_size, kernel_size)
+        self.kernel_size = (
+            check_positive_int(kernel_size[0], "kernel_size[0]"),
+            check_positive_int(kernel_size[1], "kernel_size[1]"),
+        )
+        self.stride = check_positive_int(stride, "stride")
+        if padding < 0:
+            raise ValueError(f"padding must be non-negative, got {padding}")
+        self.padding = int(padding)
+        rng = default_rng(rng)
+        weight_shape = (out_channels, in_channels, *self.kernel_size)
+        self.weight = Parameter(init.he_normal(weight_shape, rng), kind="conv")
+        self.bias = Parameter(init.zeros((out_channels,)), kind="bias") if bias else None
+        self._cache: tuple[np.ndarray, tuple[int, int, int, int], int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2D expects input (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        kh, kw = self.kernel_size
+        cols, out_h, out_w = im2col(x, kh, kw, self.stride, self.padding)
+        weight_matrix = self.weight.data.reshape(self.out_channels, -1)
+        out = cols @ weight_matrix.T
+        if self.bias is not None:
+            out = out + self.bias.data
+        batch = x.shape[0]
+        out = out.reshape(batch, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+        self._cache = (cols, x.shape, out_h, out_w)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        cols, input_shape, out_h, out_w = self._cache
+        grad_output = np.asarray(grad_output, dtype=np.float32)
+        batch = input_shape[0]
+        # (N, F, OH, OW) -> (N*OH*OW, F)
+        grad_matrix = grad_output.transpose(0, 2, 3, 1).reshape(batch * out_h * out_w, -1)
+        weight_matrix = self.weight.data.reshape(self.out_channels, -1)
+        self.weight.grad += (grad_matrix.T @ cols).reshape(self.weight.data.shape)
+        if self.bias is not None:
+            self.bias.grad += grad_matrix.sum(axis=0)
+        grad_cols = grad_matrix @ weight_matrix
+        kh, kw = self.kernel_size
+        return col2im(grad_cols, input_shape, kh, kw, self.stride, self.padding)
+
+    def output_shape(self, input_hw: tuple[int, int]) -> tuple[int, int, int]:
+        """Return ``(out_channels, out_h, out_w)`` for an input of ``(h, w)``."""
+        kh, kw = self.kernel_size
+        out_h = (input_hw[0] + 2 * self.padding - kh) // self.stride + 1
+        out_w = (input_hw[1] + 2 * self.padding - kw) // self.stride + 1
+        return self.out_channels, out_h, out_w
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2D({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding})"
+        )

@@ -1,0 +1,43 @@
+"""Inverted dropout layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.utils.rng import default_rng
+from repro.utils.validation import check_probability
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Inverted dropout: active only in training mode.
+
+    Each activation is zeroed with probability ``p`` and the survivors are
+    scaled by ``1 / (1 - p)`` so the expected activation is unchanged.
+    """
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | int | None = None):
+        super().__init__()
+        self.p = check_probability(p, "p")
+        self._rng = default_rng(rng)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self._rng.random(x.shape) < keep).astype(np.float32) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_output = np.asarray(grad_output, dtype=np.float32)
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"

@@ -1,0 +1,30 @@
+"""Flatten layer bridging convolutional and fully-connected stages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["Flatten"]
+
+
+class Flatten(Module):
+    """Reshape ``(N, C, H, W)`` feature maps to ``(N, C*H*W)`` vectors."""
+
+    def __init__(self):
+        super().__init__()
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        return np.asarray(grad_output, dtype=np.float32).reshape(self._input_shape)
+
+    def __repr__(self) -> str:
+        return "Flatten()"

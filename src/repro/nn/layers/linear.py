@@ -1,0 +1,76 @@
+"""Fully-connected (dense) layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.tensor import Parameter
+from repro.utils.rng import default_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """Affine transform ``y = x @ W.T + b``.
+
+    The weight matrix is stored as ``(out_features, in_features)``; its rows
+    are the per-output-neuron weight vectors that the accelerator maps onto
+    MR banks in the FC block (``kind="fc"``).
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input / output dimensionality.
+    bias:
+        Include a bias vector (kept in the electronic domain, never mapped to
+        MRs).
+    rng:
+        Seed or generator for weight initialization.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | int | None = None,
+    ):
+        super().__init__()
+        self.in_features = check_positive_int(in_features, "in_features")
+        self.out_features = check_positive_int(out_features, "out_features")
+        rng = default_rng(rng)
+        self.weight = Parameter(
+            init.he_normal((out_features, in_features), rng), kind="fc"
+        )
+        self.bias = Parameter(init.zeros((out_features,)), kind="bias") if bias else None
+        self._cached_input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Linear expects input of shape (N, {self.in_features}), got {x.shape}"
+            )
+        self._cached_input = x
+        out = x @ self.weight.data.T
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cached_input is None:
+            raise RuntimeError("backward called before forward")
+        grad_output = np.asarray(grad_output, dtype=np.float32)
+        self.weight.grad += grad_output.T @ self._cached_input
+        if self.bias is not None:
+            self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.data
+
+    def __repr__(self) -> str:
+        return (
+            f"Linear(in_features={self.in_features}, out_features={self.out_features}, "
+            f"bias={self.bias is not None})"
+        )

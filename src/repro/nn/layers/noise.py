@@ -1,0 +1,65 @@
+"""Gaussian activation-noise layer used for noise-aware training (paper §V.B).
+
+SafeLight trains "noise-aware" model variants by injecting random Gaussian
+noise into model layers during training, so the learned weights tolerate the
+parameter corruption later introduced by hardware-trojan attacks.  This layer
+implements that injection: additive zero-mean Gaussian noise during training,
+identity during inference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.utils.rng import default_rng
+
+__all__ = ["GaussianNoise"]
+
+
+class GaussianNoise(Module):
+    """Additive zero-mean Gaussian activation noise (training only).
+
+    Parameters
+    ----------
+    std:
+        Noise standard deviation.  The paper sweeps 0.1 .. 0.9 (variants
+        ``n1`` .. ``n9``).
+    relative:
+        When true, the noise is scaled by the per-batch standard deviation of
+        the activations, which keeps the perturbation magnitude meaningful for
+        layers with very different dynamic ranges (deep ResNet/VGG stages).
+    rng:
+        Seed or generator for the noise stream.
+    """
+
+    def __init__(
+        self,
+        std: float = 0.1,
+        relative: bool = True,
+        rng: np.random.Generator | int | None = None,
+    ):
+        super().__init__()
+        if std < 0:
+            raise ValueError(f"std must be non-negative, got {std}")
+        self.std = float(std)
+        self.relative = bool(relative)
+        self._rng = default_rng(rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if not self.training or self.std == 0.0:
+            return x
+        scale = self.std
+        if self.relative:
+            activation_std = float(x.std())
+            scale = self.std * (activation_std if activation_std > 0 else 1.0)
+        noise = self._rng.normal(0.0, scale, size=x.shape).astype(np.float32)
+        return x + noise
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        # Additive noise has unit Jacobian with respect to the input.
+        return np.asarray(grad_output, dtype=np.float32)
+
+    def __repr__(self) -> str:
+        return f"GaussianNoise(std={self.std}, relative={self.relative})"

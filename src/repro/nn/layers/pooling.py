@@ -1,0 +1,113 @@
+"""Pooling layers: max, average and global average pooling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import col2im, im2col
+from repro.nn.module import Module
+from repro.utils.validation import check_positive_int
+
+__all__ = ["MaxPool2D", "AvgPool2D", "GlobalAvgPool2D"]
+
+
+class MaxPool2D(Module):
+    """Max pooling over non-overlapping (or strided) windows."""
+
+    def __init__(self, kernel_size: int = 2, stride: int | None = None, padding: int = 0):
+        super().__init__()
+        self.kernel_size = check_positive_int(kernel_size, "kernel_size")
+        self.stride = check_positive_int(stride if stride is not None else kernel_size, "stride")
+        if padding < 0:
+            raise ValueError(f"padding must be non-negative, got {padding}")
+        self.padding = int(padding)
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        batch, channels, _, _ = x.shape
+        k = self.kernel_size
+        # Treat each channel independently so the window matrix is (N*C, ...)
+        reshaped = x.reshape(batch * channels, 1, *x.shape[2:])
+        cols, out_h, out_w = im2col(reshaped, k, k, self.stride, self.padding)
+        argmax = np.argmax(cols, axis=1)
+        out = cols[np.arange(cols.shape[0]), argmax]
+        out = out.reshape(batch, channels, out_h, out_w)
+        self._cache = (argmax, cols.shape, reshaped.shape, x.shape, out_h, out_w)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        argmax, cols_shape, reshaped_shape, input_shape, out_h, out_w = self._cache
+        grad_output = np.asarray(grad_output, dtype=np.float32)
+        grad_cols = np.zeros(cols_shape, dtype=np.float32)
+        grad_flat = grad_output.reshape(-1)
+        grad_cols[np.arange(cols_shape[0]), argmax] = grad_flat
+        k = self.kernel_size
+        grad_reshaped = col2im(grad_cols, reshaped_shape, k, k, self.stride, self.padding)
+        return grad_reshaped.reshape(input_shape)
+
+    def __repr__(self) -> str:
+        return f"MaxPool2D(kernel_size={self.kernel_size}, stride={self.stride})"
+
+
+class AvgPool2D(Module):
+    """Average pooling over strided windows."""
+
+    def __init__(self, kernel_size: int = 2, stride: int | None = None, padding: int = 0):
+        super().__init__()
+        self.kernel_size = check_positive_int(kernel_size, "kernel_size")
+        self.stride = check_positive_int(stride if stride is not None else kernel_size, "stride")
+        if padding < 0:
+            raise ValueError(f"padding must be non-negative, got {padding}")
+        self.padding = int(padding)
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        batch, channels, _, _ = x.shape
+        k = self.kernel_size
+        reshaped = x.reshape(batch * channels, 1, *x.shape[2:])
+        cols, out_h, out_w = im2col(reshaped, k, k, self.stride, self.padding)
+        out = cols.mean(axis=1).reshape(batch, channels, out_h, out_w)
+        self._cache = (cols.shape, reshaped.shape, x.shape)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        cols_shape, reshaped_shape, input_shape = self._cache
+        grad_output = np.asarray(grad_output, dtype=np.float32)
+        window = cols_shape[1]
+        grad_cols = np.repeat(grad_output.reshape(-1, 1) / window, window, axis=1)
+        k = self.kernel_size
+        grad_reshaped = col2im(grad_cols, reshaped_shape, k, k, self.stride, self.padding)
+        return grad_reshaped.reshape(input_shape)
+
+    def __repr__(self) -> str:
+        return f"AvgPool2D(kernel_size={self.kernel_size}, stride={self.stride})"
+
+
+class GlobalAvgPool2D(Module):
+    """Average over the full spatial extent, producing ``(N, C)`` features."""
+
+    def __init__(self):
+        super().__init__()
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        self._input_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        batch, channels, height, width = self._input_shape
+        grad_output = np.asarray(grad_output, dtype=np.float32)
+        grad = grad_output[:, :, None, None] / float(height * width)
+        return np.broadcast_to(grad, self._input_shape).astype(np.float32).copy()
+
+    def __repr__(self) -> str:
+        return "GlobalAvgPool2D()"

@@ -1,0 +1,87 @@
+"""Loss functions.
+
+The paper trains all CNN variants with cross-entropy, optionally augmented by
+an L2 penalty ``R(w) = (lambda / 2m) * sum(||w||^2)`` (§V.A).  The penalty
+value is exposed by :func:`l2_penalty` so reports can show the regularization
+term; the corresponding gradient contribution is applied as weight decay by
+the optimizers (mathematically equivalent for SGD).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.functional import log_softmax, softmax
+from repro.nn.tensor import Parameter
+
+__all__ = ["CrossEntropyLoss", "l2_penalty"]
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer class labels.
+
+    ``forward`` returns the mean loss; ``backward`` returns the gradient with
+    respect to the logits (already divided by the batch size).
+    """
+
+    def __init__(self, label_smoothing: float = 0.0):
+        if not 0 <= label_smoothing < 1:
+            raise ValueError(f"label_smoothing must be in [0, 1), got {label_smoothing}")
+        self.label_smoothing = float(label_smoothing)
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        logits = np.asarray(logits, dtype=np.float32)
+        labels = np.asarray(labels, dtype=np.int64)
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be 2-D (N, classes), got shape {logits.shape}")
+        if labels.shape[0] != logits.shape[0]:
+            raise ValueError(
+                f"batch mismatch: logits {logits.shape[0]} vs labels {labels.shape[0]}"
+            )
+        num_classes = logits.shape[1]
+        target = np.zeros_like(logits)
+        target[np.arange(labels.shape[0]), labels] = 1.0
+        if self.label_smoothing > 0:
+            target = (
+                target * (1.0 - self.label_smoothing) + self.label_smoothing / num_classes
+            )
+        log_probs = log_softmax(logits, axis=1)
+        loss = float(-(target * log_probs).sum(axis=1).mean())
+        self._cache = (logits, target)
+        return loss
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss with respect to the logits."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        logits, target = self._cache
+        probs = softmax(logits, axis=1)
+        return (probs - target) / logits.shape[0]
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        return self.forward(logits, labels)
+
+
+def l2_penalty(
+    parameters: Iterable[Parameter],
+    weight_decay: float,
+    num_samples: int = 1,
+    include_kinds: tuple[str, ...] = ("conv", "fc"),
+) -> float:
+    """Compute the L2 penalty ``(lambda / 2m) * sum(||w||^2)`` from the paper.
+
+    Only weight tensors of the given ``kinds`` are penalized (biases and
+    normalization parameters are conventionally excluded from weight decay).
+    """
+    if weight_decay < 0:
+        raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+    if num_samples <= 0:
+        raise ValueError(f"num_samples must be positive, got {num_samples}")
+    total = 0.0
+    for param in parameters:
+        if param.kind in include_kinds:
+            total += float(np.sum(param.data.astype(np.float64) ** 2))
+    return weight_decay / (2.0 * num_samples) * total

@@ -1,0 +1,41 @@
+"""The three CNN workloads from the paper's Table I.
+
+* :class:`~repro.nn.models.cnn_mnist.MnistCNN` — ``CNN_1``: 2 conv + 3 FC
+  layers, MNIST.
+* :class:`~repro.nn.models.resnet.ResNet18` — 17 conv + 1 FC layers, CIFAR-10.
+* :class:`~repro.nn.models.vgg.VGG16Variant` — 6 conv + 3 FC layers,
+  Imagenette.
+
+Each model can be built in the paper's *full-scale* configuration (used for
+the Table I parameter inventory) or in a *scaled* configuration small enough
+to train on a CPU within seconds, which is what the attack/mitigation
+experiments use.  The relative susceptibility trends depend on architecture
+shape (conv/FC balance, depth, parameter re-mapping pressure), which the
+scaled variants preserve.
+"""
+
+from repro.nn.models.cnn_mnist import MnistCNN
+from repro.nn.models.resnet import BasicBlock, ResNet18
+from repro.nn.models.vgg import VGG16Variant
+from repro.nn.models.registry import MODEL_REGISTRY, build_model
+from repro.nn.models.table1 import (
+    ModelSummary,
+    full_scale_summary,
+    layer_breakdown,
+    summarize_model,
+    table1_rows,
+)
+
+__all__ = [
+    "MnistCNN",
+    "ResNet18",
+    "BasicBlock",
+    "VGG16Variant",
+    "MODEL_REGISTRY",
+    "build_model",
+    "ModelSummary",
+    "summarize_model",
+    "full_scale_summary",
+    "layer_breakdown",
+    "table1_rows",
+]

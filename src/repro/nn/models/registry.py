@@ -1,0 +1,57 @@
+"""Model registry keyed by the workload names used throughout the experiments."""
+
+from __future__ import annotations
+
+from repro.nn.models.cnn_mnist import MnistCNN
+from repro.nn.models.resnet import ResNet18
+from repro.nn.models.vgg import VGG16Variant
+from repro.nn.module import Module
+from repro.utils.validation import check_in_choices
+
+__all__ = ["MODEL_REGISTRY", "build_model"]
+
+MODEL_REGISTRY = {
+    "cnn_mnist": MnistCNN,
+    "resnet18": ResNet18,
+    "vgg16_variant": VGG16Variant,
+}
+
+#: Dataset associated with each workload (paper Table I).
+MODEL_DATASETS = {
+    "cnn_mnist": "mnist",
+    "resnet18": "cifar10",
+    "vgg16_variant": "imagenette",
+}
+
+
+def build_model(
+    name: str,
+    profile: str = "scaled",
+    noise_std: float = 0.0,
+    rng=None,
+    **kwargs,
+) -> Module:
+    """Build a workload model by name.
+
+    Parameters
+    ----------
+    name:
+        One of ``cnn_mnist``, ``resnet18``, ``vgg16_variant``.
+    profile:
+        ``"paper"`` builds the full-scale Table I configuration;
+        ``"scaled"`` builds the CPU-friendly configuration used by the
+        attack/mitigation experiments.
+    noise_std:
+        Gaussian activation-noise standard deviation (noise-aware training).
+    rng:
+        Seed or generator for weight initialization.
+    kwargs:
+        Extra arguments forwarded to the profile constructor (e.g.
+        ``image_size``).
+    """
+    key = check_in_choices(name, "name", MODEL_REGISTRY)
+    profile = check_in_choices(profile, "profile", ("paper", "scaled"))
+    model_cls = MODEL_REGISTRY[key]
+    if profile == "paper":
+        return model_cls.paper_config(noise_std=noise_std, rng=rng, **kwargs)
+    return model_cls.scaled_config(noise_std=noise_std, rng=rng, **kwargs)

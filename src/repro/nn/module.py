@@ -1,0 +1,142 @@
+"""Base class for all layers and models."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.tensor import Parameter
+
+__all__ = ["Module"]
+
+
+class Module:
+    """Base class providing parameter registration and train/eval switching.
+
+    Subclasses implement :meth:`forward` (and cache whatever intermediate
+    values their :meth:`backward` needs).  Child modules and parameters are
+    discovered automatically from instance attributes, so ordinary attribute
+    assignment is all a subclass needs:
+
+    >>> class Block(Module):
+    ...     def __init__(self):
+    ...         super().__init__()
+    ...         self.fc = Linear(4, 2)
+    ...     def forward(self, x):
+    ...         return self.fc(x)
+    ...     def backward(self, grad):
+    ...         return self.fc.backward(grad)
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------ core
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # -------------------------------------------------------------- discovery
+    def children(self) -> Iterator["Module"]:
+        """Yield immediate child modules (attribute order)."""
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield item
+
+    def named_children(self) -> Iterator[tuple[str, "Module"]]:
+        """Yield ``(attribute_name, module)`` pairs for immediate children."""
+        for key, value in self.__dict__.items():
+            if isinstance(value, Module):
+                yield key, value
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield f"{key}.{index}", item
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all descendants, depth-first."""
+        yield self
+        for child in self.children():
+            yield from child.modules()
+
+    def parameters(self) -> list[Parameter]:
+        """Return all trainable parameters of this module and its children."""
+        return [param for _, param in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> list[tuple[str, Parameter]]:
+        """Return ``(dotted_name, parameter)`` pairs, depth-first.
+
+        Also back-fills ``Parameter.name`` so downstream consumers (the
+        accelerator mapping, serialization) see stable names.
+        """
+        result: list[tuple[str, Parameter]] = []
+        for key, value in self.__dict__.items():
+            full = f"{prefix}{key}"
+            if isinstance(value, Parameter):
+                if not value.name:
+                    value.name = full
+                result.append((full, value))
+            elif isinstance(value, Module):
+                result.extend(value.named_parameters(prefix=f"{full}."))
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        result.extend(item.named_parameters(prefix=f"{full}.{index}."))
+                    elif isinstance(item, Parameter):
+                        name = f"{full}.{index}"
+                        if not item.name:
+                            item.name = name
+                        result.append((name, item))
+        return result
+
+    # ----------------------------------------------------------------- modes
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects dropout, noise, batch norm)."""
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        """Set inference mode recursively."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Reset gradients of every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------- state I/O
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Return a name→array snapshot of all parameters (copies)."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter values from a :meth:`state_dict` snapshot."""
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        unexpected = set(state) - set(params)
+        if missing or unexpected:
+            raise KeyError(
+                f"state_dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, param in params.items():
+            value = np.asarray(state[name], dtype=np.float32)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: expected {param.data.shape}, got {value.shape}"
+                )
+            param.data = value.copy()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return int(sum(param.size for param in self.parameters()))

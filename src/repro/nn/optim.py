@@ -1,0 +1,112 @@
+"""Gradient-based optimizers: SGD with momentum and Adam.
+
+Both support decoupled ``weight_decay`` applied only to ``conv``/``fc``
+weight tensors, which implements the L2 regularization mitigation from the
+paper (§V.A) during training.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+_DECAY_KINDS = ("conv", "fc")
+
+
+class Optimizer:
+    """Base class holding the parameter list and weight-decay policy."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float, weight_decay: float = 0.0):
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        self.lr = float(lr)
+        self.weight_decay = float(weight_decay)
+
+    def zero_grad(self) -> None:
+        """Reset all parameter gradients."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def _decayed_grad(self, param: Parameter) -> np.ndarray:
+        """Gradient with the L2 (weight-decay) term added for weight tensors."""
+        if self.weight_decay > 0 and param.kind in _DECAY_KINDS:
+            return param.grad + self.weight_decay * param.data
+        return param.grad
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr, weight_decay)
+        if not 0 <= momentum < 1:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self._velocity = [np.zeros_like(param.data) for param in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            grad = self._decayed_grad(param)
+            if self.momentum > 0:
+                velocity *= self.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            param.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr, weight_decay)
+        beta1, beta2 = betas
+        if not 0 <= beta1 < 1 or not 0 <= beta2 < 1:
+            raise ValueError(f"betas must lie in [0, 1), got {betas}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._step_count = 0
+        self._m = [np.zeros_like(param.data) for param in self.parameters]
+        self._v = [np.zeros_like(param.data) for param in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            grad = self._decayed_grad(param)
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

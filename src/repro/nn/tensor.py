@@ -1,0 +1,59 @@
+"""Trainable parameter container.
+
+The framework does not implement a general autograd graph; each layer
+implements its own backward pass and accumulates gradients directly into the
+``grad`` buffer of its :class:`Parameter` objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter"]
+
+
+class Parameter:
+    """A trainable array with an associated gradient buffer.
+
+    Parameters
+    ----------
+    data:
+        Initial value; stored as ``float32``.
+    name:
+        Optional human-readable name (filled in by ``Module.named_parameters``
+        when left empty).
+    kind:
+        Semantic role of the parameter used by the accelerator mapping:
+        ``"conv"`` for convolution kernels, ``"fc"`` for fully-connected
+        weight matrices, ``"bias"`` for bias vectors and ``"other"`` for
+        normalization parameters.  Only ``conv`` and ``fc`` weights are
+        imprinted onto MR banks (biases and batch-norm parameters stay in the
+        electronic domain in CrossLight-style accelerators).
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "", kind: str = "other"):
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+        self.kind = kind
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        """Reset the gradient buffer to zero."""
+        self.grad.fill(0.0)
+
+    def copy(self) -> "Parameter":
+        """Return a deep copy (used to snapshot clean weights before attacks)."""
+        clone = Parameter(self.data.copy(), name=self.name, kind=self.kind)
+        clone.grad = self.grad.copy()
+        return clone
+
+    def __repr__(self) -> str:
+        return f"Parameter(name={self.name!r}, kind={self.kind!r}, shape={self.data.shape})"

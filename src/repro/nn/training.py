@@ -1,0 +1,223 @@
+"""Training loop, evaluation metrics and training configuration.
+
+The :class:`Trainer` drives mini-batch SGD/Adam training of any
+:class:`~repro.nn.module.Module` over a :class:`~repro.datasets.base.Dataset`.
+It supports the paper's two software mitigation knobs directly:
+
+* **L2 regularization** — via ``TrainingConfig.weight_decay`` (applied by the
+  optimizer to conv/fc weights only), plus ``l2_penalty`` reporting.
+* **Noise-aware training** — via ``TrainingConfig.weight_noise_std``
+  (Gaussian noise injected into conv/fc weights for each forward pass during
+  training, then removed before the update) and/or ``GaussianNoise`` layers
+  already present in the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.base import DataLoader, Dataset
+from repro.nn.losses import CrossEntropyLoss, l2_penalty
+from repro.nn.module import Module
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.utils.rng import default_rng
+from repro.utils.validation import check_in_choices, check_positive_int
+
+__all__ = ["TrainingConfig", "TrainingHistory", "Trainer", "evaluate_accuracy"]
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters for a training run.
+
+    Attributes
+    ----------
+    epochs, batch_size, lr:
+        Standard optimization hyper-parameters.
+    optimizer:
+        ``"adam"`` or ``"sgd"``.
+    momentum:
+        SGD momentum (ignored for Adam).
+    weight_decay:
+        L2 regularization coefficient (the paper's ``lambda``); 0 disables it.
+    weight_noise_std:
+        Standard deviation of the relative Gaussian noise injected into
+        conv/fc weights during each training forward pass (noise-aware
+        training); 0 disables it.
+    label_smoothing:
+        Cross-entropy label smoothing.
+    seed:
+        Seed controlling shuffling and the weight-noise stream.
+    verbose:
+        Print one line per epoch.
+    """
+
+    epochs: int = 5
+    batch_size: int = 32
+    lr: float = 1e-3
+    optimizer: str = "adam"
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    weight_noise_std: float = 0.0
+    label_smoothing: float = 0.0
+    seed: int = 0
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.epochs, "epochs")
+        check_positive_int(self.batch_size, "batch_size")
+        check_in_choices(self.optimizer, "optimizer", ("adam", "sgd"))
+        if self.weight_decay < 0:
+            raise ValueError(f"weight_decay must be non-negative, got {self.weight_decay}")
+        if self.weight_noise_std < 0:
+            raise ValueError(
+                f"weight_noise_std must be non-negative, got {self.weight_noise_std}"
+            )
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch metrics recorded by :class:`Trainer.fit`."""
+
+    train_loss: list[float] = field(default_factory=list)
+    train_accuracy: list[float] = field(default_factory=list)
+    test_accuracy: list[float] = field(default_factory=list)
+    l2_penalty: list[float] = field(default_factory=list)
+
+    @property
+    def final_test_accuracy(self) -> float:
+        """Test accuracy after the final epoch (NaN if never evaluated)."""
+        return self.test_accuracy[-1] if self.test_accuracy else float("nan")
+
+
+class Trainer:
+    """Mini-batch trainer for the NumPy NN framework."""
+
+    def __init__(self, model: Module, config: TrainingConfig | None = None):
+        self.model = model
+        self.config = config or TrainingConfig()
+        self.loss_fn = CrossEntropyLoss(label_smoothing=self.config.label_smoothing)
+        self.optimizer = self._build_optimizer()
+        self._noise_rng = default_rng(self.config.seed + 1)
+        # Conv/FC weights are the tensors that both get mapped onto MRs and
+        # receive noise-aware training perturbations.
+        self._noisy_params = [
+            param for param in self.model.parameters() if param.kind in ("conv", "fc")
+        ]
+
+    def _build_optimizer(self) -> Optimizer:
+        params = self.model.parameters()
+        if self.config.optimizer == "adam":
+            return Adam(params, lr=self.config.lr, weight_decay=self.config.weight_decay)
+        return SGD(
+            params,
+            lr=self.config.lr,
+            momentum=self.config.momentum,
+            weight_decay=self.config.weight_decay,
+        )
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, train: Dataset, test: Dataset | None = None) -> TrainingHistory:
+        """Train the model and return the per-epoch history."""
+        history = TrainingHistory()
+        loader = DataLoader(
+            train,
+            batch_size=self.config.batch_size,
+            shuffle=True,
+            seed=self.config.seed,
+        )
+        for epoch in range(self.config.epochs):
+            epoch_loss, epoch_accuracy = self._run_epoch(loader)
+            history.train_loss.append(epoch_loss)
+            history.train_accuracy.append(epoch_accuracy)
+            history.l2_penalty.append(
+                l2_penalty(
+                    self.model.parameters(),
+                    self.config.weight_decay,
+                    num_samples=len(train),
+                )
+            )
+            if test is not None:
+                test_accuracy = evaluate_accuracy(self.model, test, self.config.batch_size)
+                history.test_accuracy.append(test_accuracy)
+            if self.config.verbose:
+                test_msg = (
+                    f", test_acc={history.test_accuracy[-1]:.3f}" if test is not None else ""
+                )
+                print(
+                    f"epoch {epoch + 1}/{self.config.epochs}: "
+                    f"loss={epoch_loss:.4f}, train_acc={epoch_accuracy:.3f}{test_msg}"
+                )
+        return history
+
+    def _run_epoch(self, loader: DataLoader) -> tuple[float, float]:
+        """One pass over the training loader; returns (mean loss, accuracy)."""
+        self.model.train()
+        total_loss = 0.0
+        total_correct = 0
+        total_samples = 0
+        for images, labels in loader:
+            self.optimizer.zero_grad()
+            with _WeightNoise(self._noisy_params, self.config.weight_noise_std, self._noise_rng):
+                logits = self.model(images)
+                loss = self.loss_fn(logits, labels)
+                grad_logits = self.loss_fn.backward()
+                self.model.backward(grad_logits)
+            self.optimizer.step()
+            batch = labels.shape[0]
+            total_loss += loss * batch
+            total_correct += int((np.argmax(logits, axis=1) == labels).sum())
+            total_samples += batch
+        if total_samples == 0:
+            return float("nan"), float("nan")
+        return total_loss / total_samples, total_correct / total_samples
+
+
+class _WeightNoise:
+    """Context manager implementing weight-level noise-aware training.
+
+    On entry, each conv/fc weight tensor is perturbed with zero-mean Gaussian
+    noise whose standard deviation is ``std`` times the tensor's own standard
+    deviation (relative noise); on exit the original values are restored.
+    Gradients are therefore computed at the perturbed point, which is the
+    standard noise-injection training recipe for analog accelerators.
+    """
+
+    def __init__(self, parameters, std: float, rng: np.random.Generator):
+        self.parameters = parameters
+        self.std = float(std)
+        self.rng = rng
+        self._saved: list[np.ndarray] = []
+
+    def __enter__(self) -> "_WeightNoise":
+        if self.std <= 0:
+            return self
+        self._saved = [param.data.copy() for param in self.parameters]
+        for param in self.parameters:
+            scale = self.std * max(float(param.data.std()), 1e-8)
+            param.data = param.data + self.rng.normal(0.0, scale, size=param.data.shape).astype(
+                np.float32
+            )
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if self.std <= 0:
+            return
+        for param, saved in zip(self.parameters, self._saved):
+            param.data = saved
+        self._saved = []
+
+
+def evaluate_accuracy(model: Module, dataset: Dataset, batch_size: int = 64) -> float:
+    """Top-1 accuracy of ``model`` on ``dataset`` (inference mode)."""
+    model.eval()
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+    correct = 0
+    total = 0
+    for images, labels in loader:
+        logits = model(images)
+        correct += int((np.argmax(logits, axis=1) == labels).sum())
+        total += labels.shape[0]
+    return correct / total if total else float("nan")

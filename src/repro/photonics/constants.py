@@ -1,0 +1,78 @@
+"""Physical constants and typical silicon-photonic device parameters.
+
+Values follow the references cited by the paper (CrossLight [7], LIBRA [24],
+GHOST [20], Pintus et al. [18], Sepehrian et al. [19]) and standard silicon
+photonics literature.  All wavelengths are in metres unless a ``_nm`` suffix
+says otherwise.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SPEED_OF_LIGHT",
+    "C_BAND_CENTER_NM",
+    "SILICON_THERMO_OPTIC_COEFF",
+    "SILICON_GROUP_INDEX",
+    "SILICON_EFFECTIVE_INDEX",
+    "SILICON_CONFINEMENT_FACTOR",
+    "DEFAULT_MR_RADIUS_UM",
+    "DEFAULT_MR_Q_FACTOR",
+    "DEFAULT_CHANNEL_SPACING_NM",
+    "EO_TUNING_POWER_W_PER_NM",
+    "EO_TUNING_LATENCY_S",
+    "EO_TUNING_RANGE_NM",
+    "TO_TUNING_POWER_W_PER_FSR",
+    "TO_TUNING_LATENCY_S",
+    "AMBIENT_TEMPERATURE_K",
+    "NOMINAL_OPERATING_TEMPERATURE_K",
+]
+
+#: Speed of light in vacuum [m/s].
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Centre of the optical C band [nm]; the WDM carriers are placed around it.
+C_BAND_CENTER_NM = 1550.0
+
+#: Thermo-optic coefficient of silicon, d(n_Si)/dT [1/K] (paper Eq. 2).
+SILICON_THERMO_OPTIC_COEFF = 1.86e-4
+
+#: Group refractive index of a silicon strip waveguide (n_g in Eq. 2).
+SILICON_GROUP_INDEX = 4.2
+
+#: Effective refractive index used in the MR resonance condition (Eq. 1).
+SILICON_EFFECTIVE_INDEX = 2.45
+
+#: Modal confinement factor of the silicon core (Gamma_Si in Eq. 2).
+SILICON_CONFINEMENT_FACTOR = 0.8
+
+#: Default microring radius [micrometres] (typical 5-10 um add-drop rings).
+DEFAULT_MR_RADIUS_UM = 7.0
+
+#: Default loaded quality factor of the microrings.
+DEFAULT_MR_Q_FACTOR = 16_000.0
+
+#: Default WDM channel spacing [nm] (≈100 GHz grid at 1550 nm).
+DEFAULT_CHANNEL_SPACING_NM = 0.8
+
+#: Electro-optic (carrier-injection) tuning power [W per nm of shift]
+#: (paper §II.B quotes ≈4 µW/nm).
+EO_TUNING_POWER_W_PER_NM = 4e-6
+
+#: Electro-optic tuning latency [s] (ns range).
+EO_TUNING_LATENCY_S = 1e-9
+
+#: Maximum electro-optic tuning range [nm] (small-range tuning only).
+EO_TUNING_RANGE_NM = 0.5
+
+#: Thermo-optic tuning power [W per free spectral range of shift]
+#: (paper §II.B quotes ≈27 mW/FSR).
+TO_TUNING_POWER_W_PER_FSR = 27e-3
+
+#: Thermo-optic tuning latency [s] (µs range).
+TO_TUNING_LATENCY_S = 4e-6
+
+#: Ambient temperature [K].
+AMBIENT_TEMPERATURE_K = 300.0
+
+#: Nominal chip operating temperature the MR banks are trimmed for [K].
+NOMINAL_OPERATING_TEMPERATURE_K = 320.0

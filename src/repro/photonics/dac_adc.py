@@ -1,0 +1,86 @@
+"""Digital-to-analog and analog-to-digital converter models.
+
+DAC arrays drive the MR tuning/actuation signals; ADC arrays digitize the
+photodetector outputs (paper Fig. 2(e), (h)).  Both are modelled as uniform
+quantizers over a configurable full-scale range; quantization of weights and
+partial sums is one of the fidelity effects the accelerator simulation can
+enable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import ValidationError, check_positive, check_positive_int
+
+__all__ = ["DAC", "ADC"]
+
+
+@dataclass(frozen=True)
+class _Quantizer:
+    """Shared uniform mid-rise quantizer."""
+
+    bits: int
+    full_scale: float = 1.0
+    bipolar: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.bits, "bits")
+        if self.bits > 32:
+            raise ValidationError(f"bits must be <= 32, got {self.bits}")
+        check_positive(self.full_scale, "full_scale")
+
+    @property
+    def levels(self) -> int:
+        return 2**self.bits
+
+    @property
+    def step(self) -> float:
+        span = 2.0 * self.full_scale if self.bipolar else self.full_scale
+        return span / (self.levels - 1)
+
+    def quantize(self, values: np.ndarray | float) -> np.ndarray | float:
+        """Clip to full scale and round to the nearest quantizer level."""
+        values = np.asarray(values, dtype=np.float64)
+        low = -self.full_scale if self.bipolar else 0.0
+        clipped = np.clip(values, low, self.full_scale)
+        quantized = np.round((clipped - low) / self.step) * self.step + low
+        if quantized.ndim == 0:
+            return float(quantized)
+        return quantized
+
+    def quantization_error(self, values: np.ndarray | float) -> np.ndarray | float:
+        """Difference between the quantized and original values."""
+        return self.quantize(values) - np.asarray(values, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class DAC(_Quantizer):
+    """Digital-to-analog converter driving the MR actuation signals.
+
+    CrossLight-class accelerators use moderate-resolution DACs; the default
+    matches the commonly assumed 8-bit weight/activation resolution.
+    """
+
+    bits: int = 8
+    power_w: float = 3e-3
+    latency_s: float = 0.5e-9
+
+    def convert(self, digital_values: np.ndarray | float) -> np.ndarray | float:
+        """Convert digital parameter values into (quantized) analog levels."""
+        return self.quantize(digital_values)
+
+
+@dataclass(frozen=True)
+class ADC(_Quantizer):
+    """Analog-to-digital converter digitizing the photodetector outputs."""
+
+    bits: int = 10
+    power_w: float = 15e-3
+    latency_s: float = 1e-9
+
+    def convert(self, analog_values: np.ndarray | float) -> np.ndarray | float:
+        """Digitize analog partial sums into quantized values."""
+        return self.quantize(analog_values)

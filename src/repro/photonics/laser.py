@@ -1,0 +1,55 @@
+"""Multi-wavelength laser source feeding the MR banks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.photonics.waveguide import WDMGrid
+from repro.utils.validation import check_positive
+
+__all__ = ["LaserSource"]
+
+
+@dataclass(frozen=True)
+class LaserSource:
+    """A comb/laser array emitting one carrier per WDM channel.
+
+    Parameters
+    ----------
+    grid:
+        WDM grid describing the carriers.
+    power_per_channel_mw:
+        Optical power launched into the waveguide per carrier [mW].
+    wall_plug_efficiency:
+        Electrical-to-optical conversion efficiency (0, 1].
+    rin_db_per_hz:
+        Relative intensity noise (dB/Hz); used by the optical noise model.
+    """
+
+    grid: WDMGrid
+    power_per_channel_mw: float = 1.0
+    wall_plug_efficiency: float = 0.2
+    rin_db_per_hz: float = -150.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.power_per_channel_mw, "power_per_channel_mw")
+        if not 0 < self.wall_plug_efficiency <= 1:
+            raise ValueError(
+                f"wall_plug_efficiency must be in (0, 1], got {self.wall_plug_efficiency}"
+            )
+
+    @property
+    def output_powers_w(self) -> np.ndarray:
+        """Optical power per carrier [W]."""
+        return np.full(self.grid.num_channels, self.power_per_channel_mw * 1e-3)
+
+    @property
+    def electrical_power_w(self) -> float:
+        """Total electrical power drawn by the source [W]."""
+        return float(self.output_powers_w.sum() / self.wall_plug_efficiency)
+
+    def emit(self) -> np.ndarray:
+        """Return the launched per-channel optical power vector [W]."""
+        return self.output_powers_w.copy()

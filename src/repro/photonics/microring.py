@@ -1,0 +1,227 @@
+"""Microring resonator (MR) device model.
+
+An MR is the fundamental multiply element of the non-coherent accelerator
+(paper Fig. 1).  The model covers:
+
+* the resonance condition of Eq. 1, ``lambda_MR = 2*pi*R*n_eff / m``;
+* an all-pass (through-port) Lorentzian transmission response parameterised
+  by the loaded quality factor;
+* weight imprinting — mapping a normalized value in ``[0, 1]`` to the
+  resonance detuning that produces that through-port transmission;
+* attack states: ``off-resonance`` (actuation attack) and an additional
+  thermally-induced resonance shift (hotspot attack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.photonics import constants
+from repro.utils.validation import ValidationError, check_positive
+
+__all__ = ["MRState", "MicroringResonator"]
+
+
+class MRState(Enum):
+    """Operational state of a microring."""
+
+    NOMINAL = "nominal"
+    OFF_RESONANCE = "off_resonance"  # actuation attack payload
+    THERMALLY_SHIFTED = "thermally_shifted"  # hotspot attack payload
+
+
+@dataclass
+class MicroringResonator:
+    """An all-pass microring resonator tuned to one WDM carrier.
+
+    Parameters
+    ----------
+    target_wavelength_nm:
+        Carrier wavelength the ring is trimmed to (its "assigned" channel).
+    radius_um:
+        Ring radius in micrometres (Eq. 1).
+    q_factor:
+        Loaded quality factor; sets the Lorentzian linewidth.
+    effective_index:
+        Effective refractive index ``n_eff`` (Eq. 1).
+    extinction_ratio_db:
+        On-resonance extinction of the through port (how close to zero the
+        transmission dips).
+    """
+
+    target_wavelength_nm: float = constants.C_BAND_CENTER_NM
+    radius_um: float = constants.DEFAULT_MR_RADIUS_UM
+    q_factor: float = constants.DEFAULT_MR_Q_FACTOR
+    effective_index: float = constants.SILICON_EFFECTIVE_INDEX
+    extinction_ratio_db: float = 25.0
+    state: MRState = MRState.NOMINAL
+    #: Weight-induced detuning applied by the modulation circuit [nm].
+    weight_detuning_nm: float = 0.0
+    #: Extra detuning caused by an attack (thermal shift or off-resonance) [nm].
+    attack_detuning_nm: float = 0.0
+    _imprinted_value: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive(self.target_wavelength_nm, "target_wavelength_nm")
+        check_positive(self.radius_um, "radius_um")
+        check_positive(self.q_factor, "q_factor")
+        check_positive(self.effective_index, "effective_index")
+        check_positive(self.extinction_ratio_db, "extinction_ratio_db")
+
+    # ------------------------------------------------------------ resonance
+    @property
+    def resonance_order(self) -> int:
+        """Resonance order ``m`` closest to the target wavelength (Eq. 1)."""
+        circumference_nm = 2.0 * np.pi * self.radius_um * 1e3
+        return max(1, int(round(circumference_nm * self.effective_index
+                                / self.target_wavelength_nm)))
+
+    @property
+    def natural_resonance_nm(self) -> float:
+        """Resonance wavelength from Eq. 1 for the integer order ``m``."""
+        circumference_nm = 2.0 * np.pi * self.radius_um * 1e3
+        return circumference_nm * self.effective_index / self.resonance_order
+
+    @property
+    def fsr_nm(self) -> float:
+        """Free spectral range ``lambda^2 / (n_g * L)`` in nm."""
+        circumference_nm = 2.0 * np.pi * self.radius_um * 1e3
+        return self.target_wavelength_nm**2 / (
+            constants.SILICON_GROUP_INDEX * circumference_nm
+        )
+
+    @property
+    def linewidth_nm(self) -> float:
+        """Full-width-half-maximum linewidth ``lambda / Q`` in nm."""
+        return self.target_wavelength_nm / self.q_factor
+
+    @property
+    def current_resonance_nm(self) -> float:
+        """Resonance wavelength including weight and attack detuning."""
+        return self.target_wavelength_nm + self.weight_detuning_nm + self.attack_detuning_nm
+
+    # --------------------------------------------------------- transmission
+    def through_transmission(self, wavelength_nm: float | np.ndarray) -> float | np.ndarray:
+        """Through-port power transmission at ``wavelength_nm``.
+
+        A Lorentzian dip centred on the current resonance:
+        ``T(lambda) = 1 - (1 - T_min) / (1 + (2 * (lambda - lambda_res) / FWHM)^2)``.
+        """
+        t_min = 10.0 ** (-self.extinction_ratio_db / 10.0)
+        detune = 2.0 * (np.asarray(wavelength_nm, dtype=float) - self.current_resonance_nm)
+        lorentz = 1.0 / (1.0 + (detune / self.linewidth_nm) ** 2)
+        result = 1.0 - (1.0 - t_min) * lorentz
+        if np.isscalar(wavelength_nm):
+            return float(result)
+        return result
+
+    def drop_transmission(self, wavelength_nm: float | np.ndarray) -> float | np.ndarray:
+        """Drop-port power transmission (complement of the through port)."""
+        through = self.through_transmission(wavelength_nm)
+        return 1.0 - through
+
+    # ------------------------------------------------------------ imprinting
+    def detuning_for_value(self, value: float) -> float:
+        """Detuning [nm] so that the *through*-port transmission equals ``value``.
+
+        Values are normalized to ``[0, 1]`` (the accelerator normalizes
+        weights/activations before mapping, handling signs electronically).
+        ``value = 0`` means fully on resonance (maximum extinction, the carrier
+        is suppressed); ``value = 1`` means far off resonance (the carrier
+        passes untouched).  This is the encoding the MR banks use: carriers
+        traverse the bank's rings in series and each ring attenuates its own
+        carrier down to the programmed value.
+        """
+        if not 0.0 <= value <= 1.0:
+            raise ValidationError(f"imprinted value must be in [0, 1], got {value}")
+        t_min = 10.0 ** (-self.extinction_ratio_db / 10.0)
+        if value <= t_min:
+            return 0.0  # fully on resonance; the extinction floor limits the value
+        if value >= 1.0:
+            # Park the ring a few linewidths away: ≈98.5% transmission while
+            # keeping it well inside its own channel (limits crosstalk onto
+            # neighbouring carriers).
+            return 4.0 * self.linewidth_nm
+        # Invert the Lorentzian: T(d) = 1 - (1 - t_min) / (1 + (2 d / FWHM)^2)
+        lorentz = (1.0 - value) / (1.0 - t_min)
+        ratio = 1.0 / lorentz - 1.0
+        ratio = max(ratio, 0.0)
+        return 0.5 * self.linewidth_nm * float(np.sqrt(ratio))
+
+    def detuning_for_drop_value(self, value: float) -> float:
+        """Detuning [nm] so that the *drop*-port transmission equals ``value``.
+
+        This is the encoding used by weight banks in the add-drop
+        configuration: the ring couples a fraction ``value`` of its carrier
+        onto the drop bus that feeds the photodetector.  ``value = 1`` means
+        fully on resonance (maximum coupling); ``value = 0`` means far off
+        resonance (no light reaches the detector from this carrier).
+        """
+        if not 0.0 <= value <= 1.0:
+            raise ValidationError(f"imprinted value must be in [0, 1], got {value}")
+        # drop(d) = 1 - through(d), so target through = 1 - value.
+        return self.detuning_for_value(1.0 - value)
+
+    def imprint(self, value: float) -> None:
+        """Program the modulation circuit so the ring encodes ``value``.
+
+        Uses the through-port encoding (see :meth:`detuning_for_value`).
+        """
+        self.weight_detuning_nm = self.detuning_for_value(value)
+        self._imprinted_value = float(value)
+
+    def imprint_drop(self, value: float) -> None:
+        """Program the ring so its *drop*-port transmission equals ``value``."""
+        self.weight_detuning_nm = self.detuning_for_drop_value(value)
+        self._imprinted_value = float(value)
+
+    @property
+    def imprinted_value(self) -> float:
+        """The most recently imprinted (intended) value."""
+        return self._imprinted_value
+
+    def effective_value(self, carrier_wavelength_nm: float | None = None) -> float:
+        """Value the ring actually applies to its carrier, attacks included.
+
+        This is the through-port transmission at the carrier wavelength given
+        the ring's *current* (possibly attacked) resonance.  For a nominal
+        ring it equals the imprinted value (up to the extinction floor); an
+        off-resonance ring returns ≈1 regardless of what was programmed.
+        """
+        carrier = (
+            self.target_wavelength_nm if carrier_wavelength_nm is None else carrier_wavelength_nm
+        )
+        return float(self.through_transmission(carrier))
+
+    def effective_drop_value(self, carrier_wavelength_nm: float | None = None) -> float:
+        """Drop-port transmission at the carrier, attacks included.
+
+        For a nominal ring programmed with :meth:`imprint_drop` this equals
+        the imprinted value; an off-resonance ring returns ≈0 (no light is
+        coupled to the detector), which is how an actuation attack zeroes a
+        weight in the add-drop weight-bank configuration.
+        """
+        carrier = (
+            self.target_wavelength_nm if carrier_wavelength_nm is None else carrier_wavelength_nm
+        )
+        return float(self.drop_transmission(carrier))
+
+    # ---------------------------------------------------------------- attacks
+    def apply_actuation_attack(self) -> None:
+        """Force the ring off resonance (HT in the EO actuation circuit)."""
+        self.state = MRState.OFF_RESONANCE
+        # The trojan drives the ring far outside the channel: several FWHM away.
+        self.attack_detuning_nm = 20.0 * self.linewidth_nm
+
+    def apply_thermal_shift(self, delta_lambda_nm: float) -> None:
+        """Shift the resonance by ``delta_lambda_nm`` (HT-heated hotspot)."""
+        self.state = MRState.THERMALLY_SHIFTED
+        self.attack_detuning_nm = float(delta_lambda_nm)
+
+    def clear_attack(self) -> None:
+        """Restore nominal operation."""
+        self.state = MRState.NOMINAL
+        self.attack_detuning_nm = 0.0

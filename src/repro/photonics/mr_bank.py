@@ -1,0 +1,211 @@
+"""MR banks and MR bank-array pairs (paper Fig. 1(c), Fig. 4, Fig. 5).
+
+An :class:`MRBank` is a row of microrings, one per WDM carrier, that imprints
+a vector of normalized values onto the carriers travelling through a shared
+waveguide.  An :class:`MRBankPair` chains an *input* bank (imprinting
+activations) and a *weight* bank (imprinting weights): each carrier exits
+carrying the product ``a_i * w_i`` and the photodetector sums the carriers to
+produce the dot product.
+
+Attacks are applied directly to the member rings: an actuation attack pushes
+one ring off resonance (its carrier passes unattenuated, so the corresponding
+product saturates); a thermal hotspot shifts every ring in the bank so each
+ring attenuates its *neighbour's* carrier (the paper's Fig. 5), corrupting the
+whole cluster of products.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.photonics.microring import MicroringResonator
+from repro.photonics.noise_models import OpticalNoiseModel
+from repro.photonics.photodetector import Photodetector
+from repro.photonics.thermal_sensitivity import ThermalSensitivity
+from repro.photonics.waveguide import WDMGrid
+from repro.utils.validation import ValidationError, check_positive_int
+
+__all__ = ["MRBank", "MRBankPair"]
+
+
+class MRBank:
+    """A bank of microrings, one per channel of a WDM grid.
+
+    Parameters
+    ----------
+    grid:
+        WDM grid; the bank has exactly one ring per carrier.
+    q_factor, extinction_ratio_db:
+        Device parameters shared by all rings in the bank.
+    encoding:
+        ``"through"`` — the bank is a series of all-pass modulators and the
+        encoded value is the through-port transmission of each carrier (used
+        for the *input* banks); ``"drop"`` — the bank is an add-drop filter
+        array and the encoded value is the fraction of each carrier coupled
+        onto the drop bus feeding the photodetector (used for the *weight*
+        banks).
+    """
+
+    def __init__(
+        self,
+        grid: WDMGrid,
+        q_factor: float | None = None,
+        extinction_ratio_db: float = 25.0,
+        encoding: str = "through",
+    ):
+        if encoding not in ("through", "drop"):
+            raise ValidationError(f"encoding must be 'through' or 'drop', got {encoding!r}")
+        self.grid = grid
+        self.encoding = encoding
+        wavelengths = grid.wavelengths_nm
+        kwargs = {"extinction_ratio_db": extinction_ratio_db}
+        if q_factor is not None:
+            kwargs["q_factor"] = q_factor
+        self.mrs: list[MicroringResonator] = [
+            MicroringResonator(target_wavelength_nm=float(wl), **kwargs) for wl in wavelengths
+        ]
+
+    def __len__(self) -> int:
+        return len(self.mrs)
+
+    # ------------------------------------------------------------- imprinting
+    def imprint(self, values: np.ndarray) -> None:
+        """Imprint a vector of normalized values (one per ring/carrier)."""
+        values = np.asarray(values, dtype=float)
+        if values.shape != (len(self.mrs),):
+            raise ValidationError(
+                f"expected {len(self.mrs)} values, got shape {values.shape}"
+            )
+        if np.any(values < 0) or np.any(values > 1):
+            raise ValidationError("imprinted values must lie in [0, 1]")
+        for ring, value in zip(self.mrs, values):
+            if self.encoding == "drop":
+                ring.imprint_drop(float(value))
+            else:
+                ring.imprint(float(value))
+
+    def imprinted_values(self) -> np.ndarray:
+        """The intended (programmed) values."""
+        return np.array([ring.imprinted_value for ring in self.mrs])
+
+    # ----------------------------------------------------------------- attacks
+    def apply_actuation_attack(self, indices: np.ndarray | list[int]) -> None:
+        """Push the rings at ``indices`` off resonance."""
+        for index in np.atleast_1d(np.asarray(indices, dtype=int)):
+            self.mrs[int(index)].apply_actuation_attack()
+
+    def apply_thermal_attack(
+        self,
+        delta_temperature_k: float | np.ndarray,
+        sensitivity: ThermalSensitivity | None = None,
+    ) -> None:
+        """Shift every ring's resonance for a temperature rise (scalar or per-ring)."""
+        sensitivity = sensitivity or ThermalSensitivity()
+        deltas = np.broadcast_to(np.asarray(delta_temperature_k, dtype=float), (len(self.mrs),))
+        for ring, delta_t in zip(self.mrs, deltas):
+            shift = sensitivity.resonance_shift_nm(ring.target_wavelength_nm, float(delta_t))
+            ring.apply_thermal_shift(shift)
+
+    def clear_attacks(self) -> None:
+        """Restore all rings to nominal operation."""
+        for ring in self.mrs:
+            ring.clear_attack()
+
+    # ------------------------------------------------------------ transmission
+    def transmission_matrix(self) -> np.ndarray:
+        """Through transmission of every ring at every carrier: shape (rings, channels)."""
+        wavelengths = self.grid.wavelengths_nm
+        return np.array([ring.through_transmission(wavelengths) for ring in self.mrs])
+
+    def channel_transmission(self) -> np.ndarray:
+        """Per-carrier through transmission of the whole bank (ring cascade)."""
+        return np.prod(self.transmission_matrix(), axis=0)
+
+    def channel_drop_fraction(self) -> np.ndarray:
+        """Per-carrier fraction of power coupled onto the drop bus.
+
+        Whatever a carrier does not transmit through the cascade has been
+        coupled out by one of the rings, so the drop fraction is the
+        complement of the cascade through transmission.
+        """
+        return 1.0 - self.channel_transmission()
+
+    def effective_values(self) -> np.ndarray:
+        """Values the bank actually applies per carrier (attacks included)."""
+        if self.encoding == "drop":
+            return self.channel_drop_fraction()
+        return self.channel_transmission()
+
+
+class MRBankPair:
+    """Input bank + weight bank computing an elementwise product per carrier.
+
+    Parameters
+    ----------
+    size:
+        Vector length (number of WDM carriers and of rings per bank).
+    detector:
+        Photodetector summing the carriers (ideal by default).
+    noise_model:
+        Optional analog non-ideality model applied to the carrier powers.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        grid: WDMGrid | None = None,
+        detector: Photodetector | None = None,
+        noise_model: OpticalNoiseModel | None = None,
+        q_factor: float | None = None,
+    ):
+        check_positive_int(size, "size")
+        self.grid = grid or WDMGrid(num_channels=size)
+        if self.grid.num_channels != size:
+            raise ValidationError(
+                f"grid has {self.grid.num_channels} channels but size={size}"
+            )
+        self.input_bank = MRBank(self.grid, q_factor=q_factor, encoding="through")
+        self.weight_bank = MRBank(self.grid, q_factor=q_factor, encoding="drop")
+        self.detector = detector or Photodetector()
+        self.noise_model = noise_model
+
+    @property
+    def size(self) -> int:
+        return self.grid.num_channels
+
+    def program(self, inputs: np.ndarray, weights: np.ndarray) -> None:
+        """Imprint normalized activations and weights onto the two banks."""
+        self.input_bank.imprint(inputs)
+        self.weight_bank.imprint(weights)
+
+    def channel_products(self, input_power_w: float = 1.0) -> np.ndarray:
+        """Per-carrier optical power reaching the detector (≈ ``a_i * w_i``).
+
+        Each carrier is first attenuated to the activation value by the
+        all-pass input bank and then a fraction equal to the weight value is
+        coupled onto the drop bus by the add-drop weight bank.
+        """
+        powers = np.full(self.size, float(input_power_w))
+        powers = powers * self.input_bank.channel_transmission()
+        powers = powers * self.weight_bank.channel_drop_fraction()
+        if self.noise_model is not None:
+            powers = self.noise_model.apply_all(powers, num_mrs=2 * self.size)
+        return powers
+
+    def dot_product(self, input_power_w: float = 1.0) -> float:
+        """Summed photodetector output normalized back to value units.
+
+        With an ideal detector and no analog noise this equals
+        ``sum_i a_i * w_i`` for the programmed normalized vectors.
+        """
+        products = self.channel_products(input_power_w)
+        current = self.detector.detect(products)
+        # Normalize: an ideal detector converts power*responsivity; undo both
+        # the launch power and responsivity so the result is in value units.
+        scale = input_power_w * self.detector.responsivity_a_per_w
+        return float((current - self.detector.dark_current_a) / scale)
+
+    def clear_attacks(self) -> None:
+        """Clear attacks from both banks."""
+        self.input_bank.clear_attacks()
+        self.weight_bank.clear_attacks()

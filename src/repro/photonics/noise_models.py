@@ -1,0 +1,87 @@
+"""Analog non-idealities of the optical datapath.
+
+These effects are independent of HT attacks: inter-channel crosstalk between
+adjacent WDM carriers, insertion losses along the MR bank, and laser relative
+intensity noise.  The functional accelerator path keeps them disabled by
+default (the paper's susceptibility analysis isolates HT effects); the
+detailed signal-level simulation can enable them to study compounding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import default_rng
+
+__all__ = ["OpticalNoiseModel"]
+
+
+@dataclass
+class OpticalNoiseModel:
+    """Crosstalk, loss and intensity-noise model for an MR bank datapath.
+
+    Parameters
+    ----------
+    crosstalk_db:
+        Power coupled from each adjacent channel into a carrier (negative dB;
+        ``-25`` means 0.3%).
+    per_mr_insertion_loss_db:
+        Through-port insertion loss added by each MR the carrier passes.
+    rin_std:
+        Relative intensity noise expressed as a fractional standard deviation
+        per sample.
+    seed:
+        Noise stream seed.
+    """
+
+    crosstalk_db: float = -25.0
+    per_mr_insertion_loss_db: float = 0.05
+    rin_std: float = 0.0
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.crosstalk_db > 0:
+            raise ValueError(f"crosstalk_db must be <= 0 dB, got {self.crosstalk_db}")
+        if self.per_mr_insertion_loss_db < 0:
+            raise ValueError(
+                f"per_mr_insertion_loss_db must be >= 0, got {self.per_mr_insertion_loss_db}"
+            )
+        if self.rin_std < 0:
+            raise ValueError(f"rin_std must be >= 0, got {self.rin_std}")
+        self._rng = default_rng(self.seed)
+
+    @property
+    def crosstalk_fraction(self) -> float:
+        """Linear fraction of adjacent-channel power coupled into a carrier."""
+        return 10.0 ** (self.crosstalk_db / 10.0)
+
+    def apply_crosstalk(self, channel_powers: np.ndarray) -> np.ndarray:
+        """Mix a fraction of each neighbouring channel into every carrier."""
+        powers = np.asarray(channel_powers, dtype=float)
+        mixed = powers.copy()
+        fraction = self.crosstalk_fraction
+        if powers.size > 1 and fraction > 0:
+            mixed[:-1] += fraction * powers[1:]
+            mixed[1:] += fraction * powers[:-1]
+        return mixed
+
+    def apply_insertion_loss(self, channel_powers: np.ndarray, num_mrs: int) -> np.ndarray:
+        """Attenuate each carrier by the loss of ``num_mrs`` through-passes."""
+        loss_db = self.per_mr_insertion_loss_db * max(num_mrs, 0)
+        return np.asarray(channel_powers, dtype=float) * 10.0 ** (-loss_db / 10.0)
+
+    def apply_intensity_noise(self, channel_powers: np.ndarray) -> np.ndarray:
+        """Multiply each carrier by ``1 + N(0, rin_std)``."""
+        powers = np.asarray(channel_powers, dtype=float)
+        if self.rin_std <= 0:
+            return powers
+        noise = self._rng.normal(1.0, self.rin_std, size=powers.shape)
+        return np.clip(powers * noise, 0.0, None)
+
+    def apply_all(self, channel_powers: np.ndarray, num_mrs: int) -> np.ndarray:
+        """Apply insertion loss, crosstalk and intensity noise in order."""
+        powers = self.apply_insertion_loss(channel_powers, num_mrs)
+        powers = self.apply_crosstalk(powers)
+        return self.apply_intensity_noise(powers)

@@ -1,0 +1,80 @@
+"""Photodetector model: optical summation and opto-electronic conversion.
+
+In the non-coherent accelerator the per-wavelength products arriving at the
+end of an MR bank are summed in the optical domain (total power on the
+photodiode) and converted into a photocurrent, which the ADC then digitizes
+(paper Fig. 2(g)-(h)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import default_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["Photodetector"]
+
+_ELECTRON_CHARGE = 1.602176634e-19
+_BOLTZMANN = 1.380649e-23
+
+
+@dataclass
+class Photodetector:
+    """A PIN photodetector with responsivity, shot and thermal noise.
+
+    Parameters
+    ----------
+    responsivity_a_per_w:
+        Photocurrent per optical watt.
+    bandwidth_hz:
+        Detection bandwidth (sets the noise power).
+    temperature_k:
+        Device temperature for thermal (Johnson) noise.
+    load_resistance_ohm:
+        Transimpedance load.
+    dark_current_a:
+        Dark current contribution.
+    enable_noise:
+        When false the detector is ideal (deterministic), which is what the
+        functional accelerator simulation uses; the detailed signal-level
+        simulation enables noise.
+    """
+
+    responsivity_a_per_w: float = 1.0
+    bandwidth_hz: float = 5e9
+    temperature_k: float = 300.0
+    load_resistance_ohm: float = 50.0
+    dark_current_a: float = 5e-9
+    enable_noise: bool = False
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        check_positive(self.responsivity_a_per_w, "responsivity_a_per_w")
+        check_positive(self.bandwidth_hz, "bandwidth_hz")
+        check_positive(self.temperature_k, "temperature_k")
+        check_positive(self.load_resistance_ohm, "load_resistance_ohm")
+        self._rng = default_rng(self.seed)
+
+    def detect(self, channel_powers_w: np.ndarray) -> float:
+        """Sum the per-channel optical powers and return the photocurrent [A]."""
+        total_power = float(np.sum(np.clip(np.asarray(channel_powers_w, dtype=float), 0.0, None)))
+        current = self.responsivity_a_per_w * total_power + self.dark_current_a
+        if self.enable_noise:
+            current += self._noise_current(current)
+        return current
+
+    def _noise_current(self, signal_current_a: float) -> float:
+        """One sample of shot + thermal noise current [A]."""
+        shot_var = 2.0 * _ELECTRON_CHARGE * max(signal_current_a, 0.0) * self.bandwidth_hz
+        thermal_var = (
+            4.0 * _BOLTZMANN * self.temperature_k * self.bandwidth_hz / self.load_resistance_ohm
+        )
+        sigma = np.sqrt(shot_var + thermal_var)
+        return float(self._rng.normal(0.0, sigma))
+
+    def to_voltage(self, current_a: float) -> float:
+        """Convert photocurrent to the voltage seen by the ADC."""
+        return current_a * self.load_resistance_ohm

@@ -1,0 +1,65 @@
+"""Thermally induced resonance shift (paper Eq. 2).
+
+``delta_lambda_MR = Gamma_Si * (d n_Si / dT) * lambda_MR / n_g * delta_T``
+
+where ``Gamma_Si`` is the modal confinement factor of the silicon core,
+``d n_Si / dT`` the thermo-optic coefficient of silicon and ``n_g`` the group
+index of the MR waveguide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.photonics import constants
+from repro.utils.validation import check_positive
+
+__all__ = ["ThermalSensitivity", "resonance_shift"]
+
+
+@dataclass(frozen=True)
+class ThermalSensitivity:
+    """Material/modal parameters entering Eq. 2."""
+
+    confinement_factor: float = constants.SILICON_CONFINEMENT_FACTOR
+    thermo_optic_coeff: float = constants.SILICON_THERMO_OPTIC_COEFF
+    group_index: float = constants.SILICON_GROUP_INDEX
+
+    def __post_init__(self) -> None:
+        check_positive(self.confinement_factor, "confinement_factor")
+        check_positive(self.thermo_optic_coeff, "thermo_optic_coeff")
+        check_positive(self.group_index, "group_index")
+
+    def shift_per_kelvin(self, wavelength_nm: float) -> float:
+        """Resonance shift per Kelvin [nm/K] at ``wavelength_nm``."""
+        return (
+            self.confinement_factor
+            * self.thermo_optic_coeff
+            * wavelength_nm
+            / self.group_index
+        )
+
+    def resonance_shift_nm(
+        self, wavelength_nm: float, delta_temperature_k: float | np.ndarray
+    ) -> float | np.ndarray:
+        """Eq. 2: resonance shift [nm] for a temperature change [K]."""
+        shift = self.shift_per_kelvin(wavelength_nm) * np.asarray(delta_temperature_k, dtype=float)
+        if np.isscalar(delta_temperature_k):
+            return float(shift)
+        return shift
+
+    def temperature_for_shift(self, wavelength_nm: float, shift_nm: float) -> float:
+        """Inverse of Eq. 2: temperature change [K] producing ``shift_nm``."""
+        return shift_nm / self.shift_per_kelvin(wavelength_nm)
+
+
+def resonance_shift(
+    wavelength_nm: float,
+    delta_temperature_k: float | np.ndarray,
+    sensitivity: ThermalSensitivity | None = None,
+) -> float | np.ndarray:
+    """Convenience wrapper around :meth:`ThermalSensitivity.resonance_shift_nm`."""
+    sensitivity = sensitivity or ThermalSensitivity()
+    return sensitivity.resonance_shift_nm(wavelength_nm, delta_temperature_k)

@@ -1,0 +1,133 @@
+"""MR peripheral tuning circuits (paper §II.B and Fig. 1(b)).
+
+Two circuit families bias the MR resonance:
+
+* **Electro-optic (EO)** carrier-injection tuning — nanosecond latency,
+  ≈4 µW/nm, but only a small tuning range.  Used for signal actuation
+  (imprinting activations/weights).  An HT here produces the *actuation
+  attack*.
+* **Thermo-optic (TO)** tuning through an integrated heater — microsecond
+  latency, ≈27 mW/FSR, large range.  Used to counter fabrication/thermal
+  drift.  An HT here overdrives the heater and produces the *thermal hotspot
+  attack*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.photonics import constants
+from repro.utils.validation import ValidationError, check_positive
+
+__all__ = ["TuningCircuit", "ElectroOpticTuner", "ThermoOpticTuner", "combined_tuning_cost"]
+
+
+@dataclass(frozen=True)
+class TuningCost:
+    """Power and latency cost of a tuning operation."""
+
+    power_w: float
+    latency_s: float
+    energy_j: float
+
+
+class TuningCircuit:
+    """Common interface of the EO and TO tuning circuits."""
+
+    #: Maximum resonance shift this circuit can impose [nm].
+    max_range_nm: float
+
+    def cost_for_shift(self, shift_nm: float) -> TuningCost:
+        """Power/latency/energy needed to hold a resonance shift of ``shift_nm``."""
+        raise NotImplementedError
+
+    def check_range(self, shift_nm: float) -> float:
+        """Validate that ``shift_nm`` is within the achievable range."""
+        if abs(shift_nm) > self.max_range_nm:
+            raise ValidationError(
+                f"{type(self).__name__} cannot shift by {shift_nm:.3f} nm "
+                f"(max {self.max_range_nm:.3f} nm)"
+            )
+        return float(shift_nm)
+
+
+class ElectroOpticTuner(TuningCircuit):
+    """Carrier-injection (EO) tuning: fast, efficient, small range."""
+
+    def __init__(
+        self,
+        power_per_nm_w: float = constants.EO_TUNING_POWER_W_PER_NM,
+        latency_s: float = constants.EO_TUNING_LATENCY_S,
+        max_range_nm: float = constants.EO_TUNING_RANGE_NM,
+    ):
+        self.power_per_nm_w = check_positive(power_per_nm_w, "power_per_nm_w")
+        self.latency_s = check_positive(latency_s, "latency_s")
+        self.max_range_nm = check_positive(max_range_nm, "max_range_nm")
+
+    def cost_for_shift(self, shift_nm: float) -> TuningCost:
+        shift_nm = self.check_range(shift_nm)
+        power = self.power_per_nm_w * abs(shift_nm)
+        return TuningCost(power_w=power, latency_s=self.latency_s,
+                          energy_j=power * self.latency_s)
+
+
+class ThermoOpticTuner(TuningCircuit):
+    """Integrated-heater (TO) tuning: slow, power hungry, full-FSR range."""
+
+    def __init__(
+        self,
+        power_per_fsr_w: float = constants.TO_TUNING_POWER_W_PER_FSR,
+        latency_s: float = constants.TO_TUNING_LATENCY_S,
+        fsr_nm: float = 10.0,
+        max_range_nm: float | None = None,
+    ):
+        self.power_per_fsr_w = check_positive(power_per_fsr_w, "power_per_fsr_w")
+        self.latency_s = check_positive(latency_s, "latency_s")
+        self.fsr_nm = check_positive(fsr_nm, "fsr_nm")
+        self.max_range_nm = (
+            check_positive(max_range_nm, "max_range_nm") if max_range_nm is not None else fsr_nm
+        )
+
+    def cost_for_shift(self, shift_nm: float) -> TuningCost:
+        shift_nm = self.check_range(shift_nm)
+        power = self.power_per_fsr_w * abs(shift_nm) / self.fsr_nm
+        return TuningCost(power_w=power, latency_s=self.latency_s,
+                          energy_j=power * self.latency_s)
+
+    def heater_power_for_temperature(self, delta_t_k: float,
+                                     thermal_resistance_k_per_w: float = 1.5e3) -> float:
+        """Heater power [W] needed to raise the ring temperature by ``delta_t_k``.
+
+        ``thermal_resistance_k_per_w`` is the ring-to-substrate thermal
+        resistance; typical in-resonator photoconductive heaters reach a few
+        K/mW.  This is the quantity an HT manipulates in a hotspot attack.
+        """
+        if delta_t_k < 0:
+            raise ValidationError(f"delta_t_k must be non-negative, got {delta_t_k}")
+        check_positive(thermal_resistance_k_per_w, "thermal_resistance_k_per_w")
+        return delta_t_k / thermal_resistance_k_per_w
+
+
+def combined_tuning_cost(
+    shift_nm: float,
+    eo: ElectroOpticTuner | None = None,
+    to: ThermoOpticTuner | None = None,
+) -> TuningCost:
+    """Cost of a hybrid EO-TO tuning step.
+
+    Small shifts are handled by the EO circuit; anything beyond its range is
+    handed to the TO circuit (the EO circuit then trims the residual).  This
+    mirrors the combined EO-TO tuning discussed in the paper's §II.B.
+    """
+    eo = eo or ElectroOpticTuner()
+    to = to or ThermoOpticTuner()
+    if abs(shift_nm) <= eo.max_range_nm:
+        return eo.cost_for_shift(shift_nm)
+    to_shift = shift_nm - (eo.max_range_nm if shift_nm > 0 else -eo.max_range_nm)
+    to_cost = to.cost_for_shift(to_shift)
+    eo_cost = eo.cost_for_shift(eo.max_range_nm if shift_nm > 0 else -eo.max_range_nm)
+    return TuningCost(
+        power_w=to_cost.power_w + eo_cost.power_w,
+        latency_s=max(to_cost.latency_s, eo_cost.latency_s),
+        energy_j=to_cost.energy_j + eo_cost.energy_j,
+    )

@@ -1,0 +1,111 @@
+"""Vector-dot-product (VDP) units.
+
+A VDP unit is the tile the accelerator's CONV and FC blocks are built from
+(paper §IV): a grid of ``rows x cols`` microrings organised as ``rows`` MR
+bank pairs of ``cols`` carriers each.  A long dot product is computed by
+splitting the operand vectors into chunks of ``cols`` elements, computing each
+chunk on one bank pair, and accumulating the per-bank photodetector outputs
+in the optical summation block.
+
+The signal-level :class:`VDPUnit` here is used by the detailed simulation and
+the device-level tests; the full-model inference path in
+:mod:`repro.accelerator` uses the functional weight-corruption equivalent for
+speed (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.photonics.dac_adc import ADC, DAC
+from repro.photonics.mr_bank import MRBankPair
+from repro.photonics.waveguide import WDMGrid
+from repro.utils.validation import ValidationError, check_positive_int
+
+__all__ = ["VDPUnit"]
+
+
+class VDPUnit:
+    """A grid of MR bank pairs computing dot products of bounded length.
+
+    Parameters
+    ----------
+    rows:
+        Number of MR bank pairs (parallel chunk lanes).
+    cols:
+        Carriers per bank (chunk length).
+    dac, adc:
+        Optional data converters; when provided, operands are quantized by the
+        DAC before imprinting and the accumulated output is quantized by the
+        ADC (paper Fig. 2(e)/(h)).
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        dac: DAC | None = None,
+        adc: ADC | None = None,
+        q_factor: float | None = None,
+    ):
+        self.rows = check_positive_int(rows, "rows")
+        self.cols = check_positive_int(cols, "cols")
+        self.dac = dac
+        self.adc = adc
+        grid = WDMGrid(num_channels=cols)
+        self.bank_pairs = [MRBankPair(cols, grid=grid, q_factor=q_factor) for _ in range(rows)]
+
+    @property
+    def num_mrs(self) -> int:
+        """Total number of microrings in the unit (both banks of every pair)."""
+        return 2 * self.rows * self.cols
+
+    @property
+    def max_vector_length(self) -> int:
+        """Longest dot product the unit can compute in one pass."""
+        return self.rows * self.cols
+
+    def dot(self, inputs: np.ndarray, weights: np.ndarray) -> float:
+        """Compute ``inputs . weights`` for normalized non-negative operands.
+
+        Operands must lie in ``[0, 1]`` (the accelerator's mapping normalizes
+        magnitudes and restores signs/scales electronically) and be no longer
+        than :attr:`max_vector_length`.
+        """
+        inputs = np.asarray(inputs, dtype=float)
+        weights = np.asarray(weights, dtype=float)
+        if inputs.shape != weights.shape or inputs.ndim != 1:
+            raise ValidationError(
+                f"operands must be 1-D and equal length, got {inputs.shape} / {weights.shape}"
+            )
+        if inputs.size > self.max_vector_length:
+            raise ValidationError(
+                f"vector of length {inputs.size} exceeds unit capacity {self.max_vector_length}"
+            )
+        if self.dac is not None:
+            inputs = np.clip(self.dac.convert(inputs), 0.0, 1.0)
+            weights = np.clip(self.dac.convert(weights), 0.0, 1.0)
+
+        total = 0.0
+        for chunk_index in range(0, inputs.size, self.cols):
+            row = chunk_index // self.cols
+            chunk_inputs = inputs[chunk_index : chunk_index + self.cols]
+            chunk_weights = weights[chunk_index : chunk_index + self.cols]
+            padded_inputs = np.zeros(self.cols)
+            padded_weights = np.zeros(self.cols)
+            padded_inputs[: chunk_inputs.size] = chunk_inputs
+            padded_weights[: chunk_weights.size] = chunk_weights
+            pair = self.bank_pairs[row]
+            pair.program(padded_inputs, padded_weights)
+            total += pair.dot_product()
+        if self.adc is not None:
+            # Partial sums are normalized by the chunk length before the ADC so
+            # they stay within the converter's full-scale range.
+            normalized = total / max(inputs.size, 1)
+            total = float(self.adc.convert(normalized)) * max(inputs.size, 1)
+        return float(total)
+
+    def clear_attacks(self) -> None:
+        """Clear attacks from every bank pair."""
+        for pair in self.bank_pairs:
+            pair.clear_attacks()

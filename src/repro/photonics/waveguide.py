@@ -1,0 +1,81 @@
+"""Waveguides and the wavelength-division-multiplexing (WDM) channel grid."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.photonics import constants
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["WDMGrid", "Waveguide"]
+
+
+@dataclass(frozen=True)
+class WDMGrid:
+    """An evenly spaced WDM carrier grid centred on the C band.
+
+    The number of channels equals the number of columns in each MR bank
+    (paper §III.B.2): each column's MR pair is trimmed to one carrier.
+    """
+
+    num_channels: int
+    spacing_nm: float = constants.DEFAULT_CHANNEL_SPACING_NM
+    center_nm: float = constants.C_BAND_CENTER_NM
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_channels, "num_channels")
+        check_positive(self.spacing_nm, "spacing_nm")
+        check_positive(self.center_nm, "center_nm")
+
+    @property
+    def wavelengths_nm(self) -> np.ndarray:
+        """Carrier wavelengths, ascending [nm]."""
+        offsets = (np.arange(self.num_channels) - (self.num_channels - 1) / 2.0)
+        return self.center_nm + offsets * self.spacing_nm
+
+    def channel_of(self, wavelength_nm: float) -> int | None:
+        """Index of the carrier nearest ``wavelength_nm``.
+
+        Returns ``None`` when the wavelength falls outside the grid by more
+        than half a channel spacing (an "unsupported wavelength", as happens
+        to the first MR in the paper's Fig. 5 hotspot example).
+        """
+        wavelengths = self.wavelengths_nm
+        index = int(np.argmin(np.abs(wavelengths - wavelength_nm)))
+        if abs(wavelengths[index] - wavelength_nm) > self.spacing_nm / 2.0:
+            return None
+        return index
+
+    def shift_in_channels(self, shift_nm: float) -> int:
+        """Number of whole channels a resonance shift of ``shift_nm`` spans."""
+        return int(round(shift_nm / self.spacing_nm))
+
+
+@dataclass(frozen=True)
+class Waveguide:
+    """A straight waveguide segment with propagation and coupling loss."""
+
+    length_mm: float = 1.0
+    propagation_loss_db_per_cm: float = 1.5
+    coupling_loss_db: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_positive(self.length_mm, "length_mm")
+        if self.propagation_loss_db_per_cm < 0 or self.coupling_loss_db < 0:
+            raise ValueError("losses must be non-negative")
+
+    @property
+    def total_loss_db(self) -> float:
+        """Total insertion loss of the segment [dB]."""
+        return self.propagation_loss_db_per_cm * self.length_mm / 10.0 + self.coupling_loss_db
+
+    @property
+    def transmission(self) -> float:
+        """Linear power transmission of the segment."""
+        return 10.0 ** (-self.total_loss_db / 10.0)
+
+    def propagate(self, power_w: float | np.ndarray) -> float | np.ndarray:
+        """Attenuate optical power through the segment."""
+        return power_w * self.transmission

@@ -1,0 +1,28 @@
+"""Shared utilities: seeded RNG management, validation and serialization."""
+
+from repro.utils.rng import RngFactory, default_rng, spawn_rngs
+from repro.utils.validation import (
+    ValidationError,
+    check_fraction,
+    check_in_choices,
+    check_positive,
+    check_positive_int,
+    check_probability,
+    check_shape,
+)
+from repro.utils.serialization import load_arrays, save_arrays
+
+__all__ = [
+    "RngFactory",
+    "default_rng",
+    "spawn_rngs",
+    "ValidationError",
+    "check_fraction",
+    "check_in_choices",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "check_shape",
+    "load_arrays",
+    "save_arrays",
+]

@@ -1,0 +1,59 @@
+"""Array serialization helpers.
+
+Trained model parameters and experiment result tables are persisted as
+compressed ``.npz`` archives so examples and benchmarks can cache expensive
+training runs between invocations.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["save_arrays", "load_arrays", "save_json", "load_json"]
+
+
+def save_arrays(path: str | Path, arrays: dict[str, np.ndarray]) -> Path:
+    """Save a name→array mapping to a compressed ``.npz`` file.
+
+    Parent directories are created as needed.  Returns the resolved path.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **{key: np.asarray(value) for key, value in arrays.items()})
+    # ``savez_compressed`` appends .npz when missing; normalise the return value.
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    return path
+
+
+def load_arrays(path: str | Path) -> dict[str, np.ndarray]:
+    """Load a ``.npz`` archive back into a plain dictionary of arrays."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def save_json(path: str | Path, payload: dict) -> Path:
+    """Serialize ``payload`` to pretty-printed JSON, converting NumPy scalars."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=_to_builtin))
+    return path
+
+
+def load_json(path: str | Path) -> dict:
+    """Load a JSON document written by :func:`save_json`."""
+    return json.loads(Path(path).read_text())
+
+
+def _to_builtin(value):
+    """JSON serializer fallback for NumPy types."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"Cannot serialize {type(value).__name__} to JSON")

@@ -1,0 +1,76 @@
+"""Lightweight argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ValidationError",
+    "check_positive",
+    "check_positive_int",
+    "check_fraction",
+    "check_probability",
+    "check_in_choices",
+    "check_shape",
+]
+
+
+class ValidationError(ValueError):
+    """Raised when a public API receives an argument outside its domain."""
+
+
+def check_positive(value: float, name: str) -> float:
+    """Return ``value`` if strictly positive, raise :class:`ValidationError` otherwise."""
+    if not np.isfinite(value) or value <= 0:
+        raise ValidationError(f"{name} must be a finite positive number, got {value!r}")
+    return float(value)
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Return ``value`` if it is a strictly positive integer."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ValidationError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_fraction(value: float, name: str, *, allow_zero: bool = False) -> float:
+    """Validate a fraction in ``(0, 1]`` (or ``[0, 1]`` when ``allow_zero``)."""
+    if not np.isfinite(value):
+        raise ValidationError(f"{name} must be finite, got {value!r}")
+    lower_ok = value >= 0 if allow_zero else value > 0
+    if not lower_ok or value > 1:
+        bound = "[0, 1]" if allow_zero else "(0, 1]"
+        raise ValidationError(f"{name} must lie in {bound}, got {value}")
+    return float(value)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate a probability in ``[0, 1]``."""
+    return check_fraction(value, name, allow_zero=True)
+
+
+def check_in_choices(value: str, name: str, choices: Iterable[str]) -> str:
+    """Validate that ``value`` is one of ``choices``."""
+    options = tuple(choices)
+    if value not in options:
+        raise ValidationError(f"{name} must be one of {options}, got {value!r}")
+    return value
+
+
+def check_shape(array: np.ndarray, shape: Sequence[int | None], name: str) -> np.ndarray:
+    """Validate an array's shape; ``None`` entries are wildcards."""
+    array = np.asarray(array)
+    if array.ndim != len(shape):
+        raise ValidationError(
+            f"{name} must have {len(shape)} dimensions, got {array.ndim}"
+        )
+    for axis, (actual, expected) in enumerate(zip(array.shape, shape)):
+        if expected is not None and actual != expected:
+            raise ValidationError(
+                f"{name} has shape {array.shape}, expected axis {axis} == {expected}"
+            )
+    return array

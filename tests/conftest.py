@@ -1,0 +1,53 @@
+"""Shared fixtures: small trained models, dataset splits, accelerator configs.
+
+Expensive fixtures (trained models) are session-scoped so the integration
+tests across modules reuse them instead of re-training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accelerator.config import AcceleratorConfig, BlockGeometry
+from repro.datasets import load_dataset, train_test_split
+from repro.nn import Trainer, TrainingConfig
+from repro.nn.models import build_model
+
+
+@pytest.fixture(scope="session")
+def mnist_split():
+    """A small synthetic MNIST split shared by the integration tests."""
+    dataset = load_dataset("mnist", num_samples=400, seed=0)
+    return train_test_split(dataset, test_fraction=0.25, seed=1)
+
+
+@pytest.fixture(scope="session")
+def trained_mnist_model(mnist_split):
+    """A trained scaled CNN_1 model (baseline accuracy well above chance)."""
+    model = build_model("cnn_mnist", profile="scaled", rng=0)
+    config = TrainingConfig(epochs=4, batch_size=32, lr=2e-3, seed=0)
+    Trainer(model, config).fit(mnist_split.train)
+    return model
+
+
+@pytest.fixture(scope="session")
+def scaled_accelerator_config():
+    """The reduced accelerator configuration used by the experiments."""
+    return AcceleratorConfig.scaled_config()
+
+
+@pytest.fixture
+def tiny_accelerator_config():
+    """A tiny accelerator configuration for fast attack/mapping unit tests."""
+    return AcceleratorConfig(
+        conv_block=BlockGeometry(4, 4, 5),
+        fc_block=BlockGeometry(3, 6, 5),
+        name="tiny",
+    )
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic RNG per test."""
+    return np.random.default_rng(1234)

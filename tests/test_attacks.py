@@ -1,0 +1,268 @@
+"""Tests for the HT attack framework: specs, trojans, placement, injection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accelerator import AcceleratorConfig, WeightMapping
+from repro.attacks import (
+    ActuationAttack,
+    AttackSpec,
+    HardwareTrojan,
+    HotspotAttack,
+    HotspotAttackConfig,
+    TriggerMode,
+    attack_context,
+    corrupted_state_dict,
+    generate_scenarios,
+    sample_outcome,
+)
+from repro.attacks.injection import OFF_RESONANCE_MAGNITUDE
+from repro.attacks.scenario import AttackScenario, scenarios_by_spec
+from repro.nn.models import build_model
+from repro.utils.validation import ValidationError
+
+
+class TestAttackSpec:
+    def test_valid_spec_and_label(self):
+        spec = AttackSpec("hotspot", "conv", 0.05)
+        assert spec.label() == "hotspot-conv-5%"
+        assert spec.blocks == ("conv",)
+        assert AttackSpec("actuation", "both", 0.1).blocks == ("conv", "fc")
+
+    @pytest.mark.parametrize(
+        "kind, block, fraction",
+        [("melt", "conv", 0.1), ("actuation", "dsp", 0.1), ("actuation", "conv", 0.0),
+         ("actuation", "conv", 1.5)],
+    )
+    def test_invalid_specs_rejected(self, kind, block, fraction):
+        with pytest.raises(ValidationError):
+            AttackSpec(kind, block, fraction)
+
+
+class TestHardwareTrojan:
+    def test_always_on_trigger(self):
+        assert HardwareTrojan().triggered
+
+    def test_inference_count_trigger(self):
+        trojan = HardwareTrojan(trigger_mode=TriggerMode.INFERENCE_COUNT, trigger_count=3)
+        assert not trojan.triggered
+        for _ in range(3):
+            trojan.observe_inference()
+        assert trojan.triggered
+
+    def test_external_trigger(self):
+        trojan = HardwareTrojan(trigger_mode=TriggerMode.EXTERNAL)
+        assert not trojan.triggered
+        trojan.arm()
+        assert trojan.triggered
+        trojan.disarm()
+        assert not trojan.triggered
+
+    def test_invalid_payload_rejected(self):
+        with pytest.raises(ValidationError):
+            HardwareTrojan(payload="laser")
+
+
+class TestActuationAttack:
+    def test_attacks_requested_fraction_of_mrs(self, tiny_accelerator_config):
+        spec = AttackSpec("actuation", "conv", 0.25)
+        outcome = ActuationAttack(spec).sample(tiny_accelerator_config, seed=0)
+        capacity = tiny_accelerator_config.conv_block.capacity
+        assert len(outcome.actuation_slots["conv"]) == round(0.25 * capacity)
+        assert "fc" not in outcome.actuation_slots
+
+    def test_slots_are_unique_and_in_range(self, tiny_accelerator_config):
+        spec = AttackSpec("actuation", "both", 0.5)
+        outcome = ActuationAttack(spec).sample(tiny_accelerator_config, seed=1)
+        for block in ("conv", "fc"):
+            slots = outcome.actuation_slots[block]
+            assert len(np.unique(slots)) == len(slots)
+            assert slots.max() < tiny_accelerator_config.block(block).capacity
+
+    def test_different_seeds_give_different_placements(self, tiny_accelerator_config):
+        spec = AttackSpec("actuation", "conv", 0.2)
+        a = ActuationAttack(spec).sample(tiny_accelerator_config, seed=0)
+        b = ActuationAttack(spec).sample(tiny_accelerator_config, seed=99)
+        assert not np.array_equal(a.actuation_slots["conv"], b.actuation_slots["conv"])
+
+    def test_rejects_wrong_kind(self):
+        with pytest.raises(ValidationError):
+            ActuationAttack(AttackSpec("hotspot", "conv", 0.1))
+
+    def test_outcome_counts(self, tiny_accelerator_config):
+        spec = AttackSpec("actuation", "conv", 0.1)
+        outcome = ActuationAttack(spec).sample(tiny_accelerator_config, seed=0)
+        assert outcome.num_attacked_mrs("conv") == len(outcome.actuation_slots["conv"])
+        assert not outcome.is_empty()
+
+
+class TestHotspotAttack:
+    def test_attacks_requested_fraction_of_banks(self, tiny_accelerator_config):
+        spec = AttackSpec("hotspot", "fc", 0.2)
+        outcome = HotspotAttack(spec).sample(tiny_accelerator_config, seed=0)
+        num_banks = tiny_accelerator_config.fc_block.num_banks
+        assert len(outcome.attacked_banks["fc"]) == round(0.2 * num_banks)
+
+    def test_attacked_banks_have_largest_rise(self, tiny_accelerator_config):
+        spec = AttackSpec("hotspot", "conv", 0.1)
+        outcome = HotspotAttack(spec).sample(tiny_accelerator_config, seed=0)
+        delta = outcome.bank_delta_t["conv"]
+        attacked = outcome.attacked_banks["conv"]
+        hottest = max(delta, key=delta.get)
+        assert hottest in attacked
+        # Attacked banks must be hot enough to shift by about a channel.
+        assert all(delta[b] > 10.0 for b in attacked)
+
+    def test_neighbours_receive_smaller_rise(self, tiny_accelerator_config):
+        spec = AttackSpec("hotspot", "conv", 0.1)
+        outcome = HotspotAttack(spec).sample(tiny_accelerator_config, seed=2)
+        delta = outcome.bank_delta_t["conv"]
+        attacked = set(outcome.attacked_banks["conv"])
+        neighbour_rises = [rise for bank, rise in delta.items() if bank not in attacked]
+        if neighbour_rises:
+            assert max(neighbour_rises) < min(delta[b] for b in attacked)
+
+    def test_num_attacked_mrs_requires_cols(self, tiny_accelerator_config):
+        spec = AttackSpec("hotspot", "conv", 0.1)
+        outcome = HotspotAttack(spec).sample(tiny_accelerator_config, seed=0)
+        with pytest.raises(ValueError):
+            outcome.num_attacked_mrs("conv")
+        cols = tiny_accelerator_config.conv_block.cols
+        assert outcome.num_attacked_mrs("conv", cols) == len(outcome.attacked_banks["conv"]) * cols
+
+    def test_rejects_wrong_kind(self):
+        with pytest.raises(ValidationError):
+            HotspotAttack(AttackSpec("actuation", "conv", 0.1))
+
+    def test_custom_config_validated(self):
+        with pytest.raises(ValidationError):
+            HotspotAttackConfig(heater_power_mw=-5.0)
+
+
+class TestScenarios:
+    def test_full_grid_size(self):
+        scenarios = generate_scenarios(num_placements=10)
+        # 2 kinds x 3 blocks x 3 fractions x 10 placements
+        assert len(scenarios) == 2 * 3 * 3 * 10
+
+    def test_grid_is_deterministic(self):
+        a = generate_scenarios(num_placements=2, master_seed=5)
+        b = generate_scenarios(num_placements=2, master_seed=5)
+        assert [s.seed for s in a] == [s.seed for s in b]
+        c = generate_scenarios(num_placements=2, master_seed=6)
+        assert [s.seed for s in a] != [s.seed for s in c]
+
+    def test_scenarios_by_spec_groups_placements(self):
+        scenarios = generate_scenarios(num_placements=4, kinds=("actuation",),
+                                       blocks=("conv",), fractions=(0.05,))
+        grouped = scenarios_by_spec(scenarios)
+        assert list(grouped) == ["actuation-conv-5%"]
+        assert len(grouped["actuation-conv-5%"]) == 4
+
+    def test_sample_outcome_dispatches_by_kind(self, tiny_accelerator_config):
+        actuation = AttackScenario(AttackSpec("actuation", "conv", 0.1), placement=0, seed=1)
+        hotspot = AttackScenario(AttackSpec("hotspot", "conv", 0.1), placement=0, seed=1)
+        out_a = sample_outcome(actuation, tiny_accelerator_config)
+        out_h = sample_outcome(hotspot, tiny_accelerator_config)
+        assert out_a.actuation_slots and not out_a.bank_delta_t
+        assert out_h.bank_delta_t and not out_h.actuation_slots
+
+    def test_scenario_label(self):
+        scenario = AttackScenario(AttackSpec("hotspot", "both", 0.01), placement=3, seed=0)
+        assert scenario.label() == "hotspot-both-1%#3"
+
+
+class TestInjection:
+    @pytest.fixture
+    def model_and_mapping(self, tiny_accelerator_config):
+        model = build_model("cnn_mnist", profile="scaled", rng=0)
+        mapping = WeightMapping(model, tiny_accelerator_config)
+        return model, mapping
+
+    def test_actuation_zeroes_exactly_the_hosted_weights(self, model_and_mapping,
+                                                         tiny_accelerator_config):
+        model, mapping = model_and_mapping
+        spec = AttackSpec("actuation", "conv", 0.1)
+        outcome = ActuationAttack(spec).sample(tiny_accelerator_config, seed=0)
+        corrupted = corrupted_state_dict(model, mapping, outcome)
+        attacked_slots = outcome.actuation_slots["conv"]
+        for mapped in mapping.parameters_in_block("conv"):
+            original = model.state_dict()[mapped.name].reshape(-1)
+            changed = corrupted[mapped.name].reshape(-1)
+            hit = np.isin(mapping.slots_for(mapped), attacked_slots)
+            # Hosted weights collapse to (near) zero magnitude.
+            assert np.all(np.abs(changed[hit]) <= mapped.scale * OFF_RESONANCE_MAGNITUDE + 1e-6)
+            # Untouched weights stay numerically identical (float32 mapping roundtrip).
+            np.testing.assert_allclose(changed[~hit], original[~hit], atol=1e-6)
+
+    def test_fc_only_attack_leaves_conv_untouched(self, model_and_mapping,
+                                                  tiny_accelerator_config):
+        model, mapping = model_and_mapping
+        outcome = ActuationAttack(AttackSpec("actuation", "fc", 0.2)).sample(
+            tiny_accelerator_config, seed=0
+        )
+        corrupted = corrupted_state_dict(model, mapping, outcome)
+        for mapped in mapping.parameters_in_block("conv"):
+            np.testing.assert_allclose(
+                corrupted[mapped.name], model.state_dict()[mapped.name], atol=1e-6
+            )
+
+    def test_hotspot_corrupts_clusters(self, model_and_mapping, tiny_accelerator_config):
+        model, mapping = model_and_mapping
+        outcome = HotspotAttack(AttackSpec("hotspot", "conv", 0.1)).sample(
+            tiny_accelerator_config, seed=0
+        )
+        corrupted = corrupted_state_dict(model, mapping, outcome)
+        geometry = tiny_accelerator_config.conv_block
+        changed_banks = set()
+        for mapped in mapping.parameters_in_block("conv"):
+            original = model.state_dict()[mapped.name].reshape(-1)
+            changed = corrupted[mapped.name].reshape(-1)
+            banks = mapping.banks_for(mapped)
+            diff = np.abs(changed - original) > 1e-7
+            changed_banks.update(np.unique(banks[diff]).tolist())
+        assert set(outcome.attacked_banks["conv"]).issubset(changed_banks)
+        assert len(changed_banks) < geometry.num_banks
+
+    def test_hotspot_corrupts_more_weights_than_actuation(self, trained_mnist_model,
+                                                          scaled_accelerator_config):
+        from repro.accelerator import AttackedInferenceEngine
+
+        engine = AttackedInferenceEngine(trained_mnist_model, scaled_accelerator_config)
+        actuation = ActuationAttack(AttackSpec("actuation", "both", 0.05)).sample(
+            scaled_accelerator_config, seed=0
+        )
+        hotspot = HotspotAttack(AttackSpec("hotspot", "both", 0.05)).sample(
+            scaled_accelerator_config, seed=0
+        )
+        assert engine.weight_corruption_fraction(hotspot) > engine.weight_corruption_fraction(
+            actuation
+        )
+
+    def test_attack_context_restores_on_exception(self, model_and_mapping,
+                                                  tiny_accelerator_config):
+        model, mapping = model_and_mapping
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        outcome = ActuationAttack(AttackSpec("actuation", "both", 0.3)).sample(
+            tiny_accelerator_config, seed=0
+        )
+        with pytest.raises(RuntimeError):
+            with attack_context(model, mapping, outcome):
+                raise RuntimeError("boom")
+        after = model.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+    def test_biases_and_batchnorm_never_corrupted(self, model_and_mapping,
+                                                  tiny_accelerator_config):
+        model, mapping = model_and_mapping
+        outcome = ActuationAttack(AttackSpec("actuation", "both", 0.5)).sample(
+            tiny_accelerator_config, seed=0
+        )
+        corrupted = corrupted_state_dict(model, mapping, outcome)
+        mapped_names = {m.name for m in mapping.parameters}
+        for name, value in model.state_dict().items():
+            if name not in mapped_names:
+                np.testing.assert_array_equal(corrupted[name], value)

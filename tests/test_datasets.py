@@ -1,0 +1,185 @@
+"""Tests for the synthetic datasets, splits, loaders and transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DataLoader,
+    Dataset,
+    Normalize,
+    OneHot,
+    RandomHorizontalFlip,
+    RandomTranslate,
+    Compose,
+    load_dataset,
+    make_cifar10_like,
+    make_imagenette_like,
+    make_mnist_like,
+    to_one_hot,
+    train_test_split,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestDatasetContainer:
+    def test_rejects_wrong_image_rank(self):
+        with pytest.raises(ValidationError):
+            Dataset(images=np.zeros((4, 8, 8)), labels=np.zeros(4, dtype=int), num_classes=2)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            Dataset(images=np.zeros((4, 1, 8, 8)), labels=np.zeros(3, dtype=int), num_classes=2)
+
+    def test_rejects_out_of_range_labels(self):
+        with pytest.raises(ValidationError):
+            Dataset(images=np.zeros((2, 1, 4, 4)), labels=np.array([0, 5]), num_classes=2)
+
+    def test_subset_and_class_counts(self):
+        data = Dataset(
+            images=np.zeros((6, 1, 4, 4), dtype=np.float32),
+            labels=np.array([0, 1, 0, 1, 0, 1]),
+            num_classes=2,
+        )
+        subset = data.subset(np.array([0, 1, 2]))
+        assert len(subset) == 3
+        assert subset.image_shape == (1, 4, 4)
+        np.testing.assert_array_equal(data.class_counts(), [3, 3])
+
+    def test_map_images_applies_function(self):
+        data = Dataset(
+            images=np.ones((2, 1, 2, 2), dtype=np.float32),
+            labels=np.array([0, 1]),
+            num_classes=2,
+        )
+        doubled = data.map_images(lambda x: x * 2)
+        assert float(doubled.images.max()) == 2.0
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "factory, channels, size",
+        [
+            (make_mnist_like, 1, 28),
+            (make_cifar10_like, 3, 32),
+        ],
+    )
+    def test_shapes_and_ranges(self, factory, channels, size):
+        data = factory(num_samples=50, seed=0)
+        assert data.images.shape == (50, channels, size, size)
+        assert data.images.dtype == np.float32
+        assert data.images.min() >= 0.0 and data.images.max() <= 1.0
+        assert data.num_classes == 10
+
+    def test_imagenette_respects_image_size(self):
+        data = make_imagenette_like(num_samples=20, image_size=48, seed=0)
+        assert data.images.shape == (20, 3, 48, 48)
+
+    def test_generation_is_deterministic(self):
+        a = make_mnist_like(num_samples=30, seed=7)
+        b = make_mnist_like(num_samples=30, seed=7)
+        np.testing.assert_allclose(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = make_mnist_like(num_samples=30, seed=1)
+        b = make_mnist_like(num_samples=30, seed=2)
+        assert not np.allclose(a.images, b.images)
+
+    def test_all_classes_present(self):
+        data = make_cifar10_like(num_samples=100, seed=0)
+        assert set(np.unique(data.labels)) == set(range(10))
+
+    def test_classes_are_distinguishable(self):
+        """Per-class mean images should differ measurably between classes."""
+        data = make_mnist_like(num_samples=200, seed=0, noise_std=0.02)
+        means = [data.images[data.labels == c].mean(axis=0) for c in range(10)]
+        distances = [
+            np.abs(means[i] - means[j]).mean()
+            for i in range(10)
+            for j in range(i + 1, 10)
+        ]
+        assert min(distances) > 0.01
+
+    def test_registry_load_dataset(self):
+        data = load_dataset("mnist", num_samples=20, seed=0)
+        assert data.name.startswith("synthetic-mnist")
+        with pytest.raises(ValidationError):
+            load_dataset("not-a-dataset")
+
+
+class TestSplitAndLoader:
+    def test_split_is_stratified_and_disjoint(self):
+        data = make_mnist_like(num_samples=200, seed=0)
+        split = train_test_split(data, test_fraction=0.2, seed=0)
+        assert len(split.train) + len(split.test) == len(data)
+        # Every class appears in the test partition.
+        assert set(np.unique(split.test.labels)) == set(range(10))
+
+    def test_split_rejects_bad_fraction(self):
+        data = make_mnist_like(num_samples=20, seed=0)
+        with pytest.raises(ValidationError):
+            train_test_split(data, test_fraction=1.5)
+
+    def test_loader_yields_all_samples_once(self):
+        data = make_mnist_like(num_samples=53, seed=0)
+        loader = DataLoader(data, batch_size=16, shuffle=True, seed=0)
+        seen = sum(labels.shape[0] for _, labels in loader)
+        assert seen == 53
+        assert len(loader) == 4
+
+    def test_loader_drop_last(self):
+        data = make_mnist_like(num_samples=53, seed=0)
+        loader = DataLoader(data, batch_size=16, shuffle=False, drop_last=True)
+        assert len(loader) == 3
+        assert sum(labels.shape[0] for _, labels in loader) == 48
+
+    def test_loader_shuffles_between_epochs(self):
+        data = make_mnist_like(num_samples=64, seed=0)
+        loader = DataLoader(data, batch_size=64, shuffle=True, seed=0)
+        first_epoch = next(iter(loader))[1]
+        second_epoch = next(iter(loader))[1]
+        assert not np.array_equal(first_epoch, second_epoch)
+
+    def test_loader_applies_transform(self):
+        data = make_mnist_like(num_samples=8, seed=0)
+        loader = DataLoader(
+            data, batch_size=4, shuffle=False, transform=lambda x, rng: x * 0.0
+        )
+        images, _ = next(iter(loader))
+        assert float(np.abs(images).max()) == 0.0
+
+
+class TestTransforms:
+    def test_normalize(self):
+        images = np.ones((2, 3, 4, 4), dtype=np.float32)
+        out = Normalize(mean=[1.0, 1.0, 1.0], std=[0.5, 0.5, 0.5])(images)
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_normalize_rejects_zero_std(self):
+        with pytest.raises(ValidationError):
+            Normalize(mean=0.0, std=0.0)
+
+    def test_horizontal_flip_all(self, rng):
+        images = np.zeros((3, 1, 2, 2), dtype=np.float32)
+        images[:, :, :, 0] = 1.0
+        flipped = RandomHorizontalFlip(p=1.0)(images, rng)
+        assert np.all(flipped[:, :, :, 1] == 1.0)
+
+    def test_translate_preserves_shape(self, rng):
+        images = np.random.default_rng(0).random((4, 1, 8, 8)).astype(np.float32)
+        out = RandomTranslate(max_shift=2)(images, rng)
+        assert out.shape == images.shape
+
+    def test_compose_order(self, rng):
+        images = np.ones((1, 1, 2, 2), dtype=np.float32)
+        pipeline = Compose([lambda x, r: x + 1, lambda x, r: x * 2])
+        np.testing.assert_allclose(pipeline(images, rng), 4.0)
+
+    def test_one_hot(self):
+        encoded = to_one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(encoded, np.eye(3, dtype=np.float32)[[0, 2, 1]])
+        assert OneHot(3)(np.array([1])).shape == (1, 3)
+        with pytest.raises(ValidationError):
+            to_one_hot(np.array([3]), 3)

@@ -1,0 +1,238 @@
+"""Tests for the device-level photonics models (MR, tuning, waveguide, PD, converters)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.photonics import (
+    ADC,
+    DAC,
+    ElectroOpticTuner,
+    LaserSource,
+    MicroringResonator,
+    MRState,
+    OpticalNoiseModel,
+    Photodetector,
+    ThermalSensitivity,
+    ThermoOpticTuner,
+    WDMGrid,
+    Waveguide,
+    constants,
+    resonance_shift,
+)
+from repro.photonics.tuning import combined_tuning_cost
+from repro.utils.validation import ValidationError
+
+
+class TestMicroring:
+    def test_resonance_close_to_target_wavelength(self):
+        ring = MicroringResonator(target_wavelength_nm=1550.0)
+        # Eq. 1 with the nearest integer order lands within one FSR of target.
+        assert abs(ring.natural_resonance_nm - 1550.0) < ring.fsr_nm
+
+    def test_linewidth_and_fsr_positive(self):
+        ring = MicroringResonator()
+        assert ring.linewidth_nm > 0
+        assert ring.fsr_nm > ring.linewidth_nm
+
+    def test_through_transmission_dips_on_resonance(self):
+        ring = MicroringResonator(extinction_ratio_db=30.0)
+        on_res = ring.through_transmission(ring.current_resonance_nm)
+        off_res = ring.through_transmission(ring.current_resonance_nm + 5 * ring.linewidth_nm)
+        assert on_res < 0.01
+        assert off_res > 0.9
+
+    def test_drop_is_complement_of_through(self):
+        ring = MicroringResonator()
+        wl = ring.target_wavelength_nm + 0.05
+        assert ring.drop_transmission(wl) == pytest.approx(1 - ring.through_transmission(wl))
+
+    @pytest.mark.parametrize("value", [0.05, 0.25, 0.5, 0.75, 0.95])
+    def test_imprint_through_value_is_recovered(self, value):
+        ring = MicroringResonator()
+        ring.imprint(value)
+        assert ring.effective_value() == pytest.approx(value, abs=0.01)
+
+    @pytest.mark.parametrize("value", [0.1, 0.5, 0.9])
+    def test_imprint_drop_value_is_recovered(self, value):
+        ring = MicroringResonator()
+        ring.imprint_drop(value)
+        assert ring.effective_drop_value() == pytest.approx(value, abs=0.01)
+
+    def test_imprint_rejects_out_of_range(self):
+        ring = MicroringResonator()
+        with pytest.raises(ValidationError):
+            ring.imprint(1.5)
+        with pytest.raises(ValidationError):
+            ring.imprint_drop(-0.1)
+
+    def test_actuation_attack_forces_off_resonance(self):
+        ring = MicroringResonator()
+        ring.imprint_drop(0.8)
+        ring.apply_actuation_attack()
+        assert ring.state is MRState.OFF_RESONANCE
+        assert ring.effective_drop_value() < 0.05
+        ring.clear_attack()
+        assert ring.state is MRState.NOMINAL
+        assert ring.effective_drop_value() == pytest.approx(0.8, abs=0.01)
+
+    def test_thermal_shift_moves_resonance(self):
+        ring = MicroringResonator()
+        before = ring.current_resonance_nm
+        ring.apply_thermal_shift(0.8)
+        assert ring.current_resonance_nm == pytest.approx(before + 0.8)
+        assert ring.state is MRState.THERMALLY_SHIFTED
+
+
+class TestThermalSensitivity:
+    def test_eq2_linear_in_temperature(self):
+        sens = ThermalSensitivity()
+        one = sens.resonance_shift_nm(1550.0, 1.0)
+        ten = sens.resonance_shift_nm(1550.0, 10.0)
+        assert ten == pytest.approx(10 * one)
+
+    def test_eq2_expected_magnitude(self):
+        """For standard Si parameters the shift is ~0.05-0.06 nm/K at 1550nm."""
+        shift = resonance_shift(1550.0, 1.0)
+        assert 0.03 < shift < 0.08
+
+    def test_temperature_for_shift_inverts(self):
+        sens = ThermalSensitivity()
+        delta_t = sens.temperature_for_shift(1550.0, 0.8)
+        assert sens.resonance_shift_nm(1550.0, delta_t) == pytest.approx(0.8)
+
+    def test_vector_input(self):
+        shifts = resonance_shift(1550.0, np.array([1.0, 2.0]))
+        assert shifts.shape == (2,)
+        assert shifts[1] == pytest.approx(2 * shifts[0])
+
+
+class TestTuningCircuits:
+    def test_eo_cost_scales_with_shift(self):
+        eo = ElectroOpticTuner()
+        small = eo.cost_for_shift(0.1)
+        large = eo.cost_for_shift(0.4)
+        assert large.power_w > small.power_w
+        assert small.latency_s == pytest.approx(constants.EO_TUNING_LATENCY_S)
+
+    def test_eo_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            ElectroOpticTuner().cost_for_shift(5.0)
+
+    def test_to_covers_large_range_but_costs_more(self):
+        to = ThermoOpticTuner(fsr_nm=10.0)
+        eo = ElectroOpticTuner()
+        shift = 0.4
+        assert to.cost_for_shift(shift).power_w > eo.cost_for_shift(shift).power_w
+        assert to.cost_for_shift(shift).latency_s > eo.cost_for_shift(shift).latency_s
+
+    def test_to_heater_power_for_temperature(self):
+        to = ThermoOpticTuner()
+        assert to.heater_power_for_temperature(15.0) > 0
+        with pytest.raises(ValidationError):
+            to.heater_power_for_temperature(-1.0)
+
+    def test_combined_tuning_uses_eo_for_small_shifts(self):
+        eo = ElectroOpticTuner()
+        cost = combined_tuning_cost(0.2, eo=eo)
+        assert cost.latency_s == pytest.approx(eo.latency_s)
+
+    def test_combined_tuning_engages_to_for_large_shifts(self):
+        cost = combined_tuning_cost(3.0)
+        assert cost.latency_s == pytest.approx(constants.TO_TUNING_LATENCY_S)
+
+
+class TestWaveguideAndLaser:
+    def test_wdm_grid_spacing_and_centering(self):
+        grid = WDMGrid(num_channels=5, spacing_nm=0.8)
+        wavelengths = grid.wavelengths_nm
+        assert len(wavelengths) == 5
+        np.testing.assert_allclose(np.diff(wavelengths), 0.8)
+        assert np.mean(wavelengths) == pytest.approx(grid.center_nm)
+
+    def test_channel_of_handles_unsupported_wavelengths(self):
+        grid = WDMGrid(num_channels=4, spacing_nm=0.8)
+        wavelengths = grid.wavelengths_nm
+        assert grid.channel_of(wavelengths[2] + 0.1) == 2
+        assert grid.channel_of(wavelengths[-1] + 5.0) is None
+
+    def test_shift_in_channels(self):
+        grid = WDMGrid(num_channels=4, spacing_nm=0.8)
+        assert grid.shift_in_channels(0.8) == 1
+        assert grid.shift_in_channels(0.3) == 0
+        assert grid.shift_in_channels(1.7) == 2
+
+    def test_waveguide_loss(self):
+        wg = Waveguide(length_mm=10.0, propagation_loss_db_per_cm=1.0, coupling_loss_db=1.0)
+        assert wg.total_loss_db == pytest.approx(2.0)
+        assert wg.propagate(1.0) == pytest.approx(10 ** -0.2)
+
+    def test_laser_power_budget(self):
+        grid = WDMGrid(num_channels=8)
+        laser = LaserSource(grid, power_per_channel_mw=2.0, wall_plug_efficiency=0.25)
+        assert laser.emit().shape == (8,)
+        assert laser.electrical_power_w == pytest.approx(8 * 2e-3 / 0.25)
+
+
+class TestDetectorsAndConverters:
+    def test_ideal_detector_sums_powers(self):
+        detector = Photodetector(responsivity_a_per_w=0.8, dark_current_a=0.0)
+        current = detector.detect(np.array([1e-3, 2e-3, 3e-3]))
+        assert current == pytest.approx(0.8 * 6e-3)
+
+    def test_noisy_detector_varies(self):
+        detector = Photodetector(enable_noise=True, seed=0, bandwidth_hz=1e12)
+        samples = {detector.detect(np.array([1e-3])) for _ in range(5)}
+        assert len(samples) > 1
+
+    def test_detector_voltage_conversion(self):
+        detector = Photodetector(load_resistance_ohm=100.0)
+        assert detector.to_voltage(1e-3) == pytest.approx(0.1)
+
+    def test_dac_quantization_levels(self):
+        dac = DAC(bits=2, full_scale=1.0, bipolar=False)
+        values = dac.convert(np.array([0.0, 0.2, 0.5, 1.0]))
+        # 2 bits -> levels {0, 1/3, 2/3, 1}
+        np.testing.assert_allclose(values, [0.0, 1 / 3, 2 / 3, 1.0], atol=1e-9)
+
+    def test_adc_clips_to_full_scale(self):
+        adc = ADC(bits=8, full_scale=1.0)
+        assert adc.convert(2.0) == pytest.approx(1.0)
+        assert adc.convert(-2.0) == pytest.approx(-1.0)
+
+    def test_quantization_error_shrinks_with_bits(self, rng):
+        values = rng.random(100)
+        coarse = np.abs(DAC(bits=3).quantization_error(values)).max()
+        fine = np.abs(DAC(bits=8).quantization_error(values)).max()
+        assert fine < coarse
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValidationError):
+            DAC(bits=0)
+        with pytest.raises(ValidationError):
+            ADC(bits=64)
+
+
+class TestOpticalNoise:
+    def test_crosstalk_mixes_neighbours(self):
+        model = OpticalNoiseModel(crosstalk_db=-10.0)
+        powers = np.array([1.0, 0.0, 0.0])
+        mixed = model.apply_crosstalk(powers)
+        assert mixed[1] > 0 and mixed[2] == 0.0
+
+    def test_insertion_loss_attenuates(self):
+        model = OpticalNoiseModel(per_mr_insertion_loss_db=0.1)
+        out = model.apply_insertion_loss(np.array([1.0]), num_mrs=10)
+        assert out[0] == pytest.approx(10 ** -0.1)
+
+    def test_intensity_noise_disabled_by_default(self):
+        model = OpticalNoiseModel()
+        powers = np.array([1.0, 2.0])
+        np.testing.assert_array_equal(model.apply_intensity_noise(powers), powers)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            OpticalNoiseModel(crosstalk_db=3.0)
+        with pytest.raises(ValueError):
+            OpticalNoiseModel(rin_std=-0.1)

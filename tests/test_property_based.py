@@ -1,0 +1,115 @@
+"""Property-based tests (hypothesis) on core numerical invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.accelerator.config import BlockGeometry
+from repro.accelerator.blocks import coordinate_to_slot, slot_to_coordinate
+from repro.nn import functional as F
+from repro.photonics.dac_adc import DAC
+from repro.photonics.microring import MicroringResonator
+from repro.photonics.thermal_sensitivity import ThermalSensitivity
+from repro.datasets.transforms import to_one_hot
+
+_settings = settings(max_examples=60, deadline=None)
+
+
+class TestPhotonicInvariants:
+    @_settings
+    @given(value=st.floats(min_value=0.0, max_value=1.0))
+    def test_imprint_roundtrip_within_extinction_floor(self, value):
+        ring = MicroringResonator()
+        ring.imprint(value)
+        t_min = 10.0 ** (-ring.extinction_ratio_db / 10.0)
+        recovered = ring.effective_value()
+        assert recovered >= -1e-9
+        assert abs(recovered - np.clip(value, t_min, 0.99)) < 0.02 or value > 0.98
+
+    @_settings
+    @given(value=st.floats(min_value=0.0, max_value=0.97))
+    def test_drop_imprint_monotone(self, value):
+        """A larger programmed drop value never produces a smaller coupled value."""
+        ring_low = MicroringResonator()
+        ring_high = MicroringResonator()
+        ring_low.imprint_drop(value)
+        ring_high.imprint_drop(min(value + 0.02, 0.99))
+        assert ring_high.effective_drop_value() >= ring_low.effective_drop_value() - 1e-6
+
+    @_settings
+    @given(
+        wavelength=st.floats(min_value=1300.0, max_value=1600.0),
+        delta_t=st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_thermal_shift_non_negative_and_linear(self, wavelength, delta_t):
+        sens = ThermalSensitivity()
+        shift = sens.resonance_shift_nm(wavelength, delta_t)
+        assert shift >= 0.0
+        assert shift == 2 * sens.resonance_shift_nm(wavelength, delta_t / 2.0) or delta_t == 0.0
+
+    @_settings
+    @given(
+        values=st.lists(st.floats(min_value=-2.0, max_value=2.0), min_size=1, max_size=32),
+        bits=st.integers(min_value=2, max_value=12),
+    )
+    def test_quantization_error_bounded_by_step(self, values, bits):
+        dac = DAC(bits=bits)
+        array = np.asarray(values)
+        error = dac.quantization_error(np.clip(array, -1.0, 1.0))
+        assert np.all(np.abs(error) <= dac.step / 2 + 1e-12)
+
+
+class TestMappingInvariants:
+    @_settings
+    @given(
+        units=st.integers(min_value=1, max_value=6),
+        rows=st.integers(min_value=1, max_value=6),
+        cols=st.integers(min_value=1, max_value=6),
+        data=st.data(),
+    )
+    def test_slot_coordinate_roundtrip(self, units, rows, cols, data):
+        geometry = BlockGeometry(units, rows, cols)
+        slot = data.draw(st.integers(min_value=0, max_value=geometry.capacity - 1))
+        coord = slot_to_coordinate(slot, geometry)
+        assert 0 <= coord.unit < units
+        assert 0 <= coord.row < rows
+        assert 0 <= coord.col < cols
+        assert coordinate_to_slot(coord, geometry) == slot
+
+
+class TestNNInvariants:
+    @_settings
+    @given(
+        batch=st.integers(min_value=1, max_value=5),
+        classes=st.integers(min_value=2, max_value=12),
+    )
+    def test_softmax_is_probability_distribution(self, batch, classes):
+        rng = np.random.default_rng(batch * 100 + classes)
+        logits = rng.normal(size=(batch, classes)) * 10
+        probs = F.softmax(logits)
+        assert np.all(probs >= 0)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-6)
+
+    @_settings
+    @given(
+        batch=st.integers(min_value=1, max_value=4),
+        channels=st.integers(min_value=1, max_value=3),
+        size=st.integers(min_value=3, max_value=8),
+        kernel=st.integers(min_value=1, max_value=3),
+    )
+    def test_im2col_shape_contract(self, batch, channels, size, kernel):
+        rng = np.random.default_rng(0)
+        x = rng.random((batch, channels, size, size)).astype(np.float32)
+        cols, out_h, out_w = F.im2col(x, kernel, kernel, 1, 0)
+        assert out_h == size - kernel + 1
+        assert cols.shape == (batch * out_h * out_w, channels * kernel * kernel)
+
+    @_settings
+    @given(
+        labels=st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=40)
+    )
+    def test_one_hot_rows_sum_to_one(self, labels):
+        encoded = to_one_hot(np.asarray(labels), 10)
+        np.testing.assert_array_equal(encoded.sum(axis=1), 1.0)
+        assert np.array_equal(np.argmax(encoded, axis=1), np.asarray(labels))

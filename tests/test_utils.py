@@ -1,0 +1,125 @@
+"""Tests for repro.utils: RNG management, validation and serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    RngFactory,
+    ValidationError,
+    check_fraction,
+    check_in_choices,
+    check_positive,
+    check_positive_int,
+    check_probability,
+    check_shape,
+    default_rng,
+    load_arrays,
+    save_arrays,
+    spawn_rngs,
+)
+from repro.utils.serialization import load_json, save_json
+
+
+class TestRng:
+    def test_default_rng_from_int_is_deterministic(self):
+        a = default_rng(7).random(5)
+        b = default_rng(7).random(5)
+        np.testing.assert_allclose(a, b)
+
+    def test_default_rng_passthrough_generator(self):
+        gen = np.random.default_rng(3)
+        assert default_rng(gen) is gen
+
+    def test_spawn_rngs_are_independent_and_reproducible(self):
+        first = [r.random() for r in spawn_rngs(0, 3)]
+        second = [r.random() for r in spawn_rngs(0, 3)]
+        assert first == second
+        assert len(set(first)) == 3
+
+    def test_spawn_rngs_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_rng_factory_same_name_same_stream(self):
+        factory = RngFactory(seed=5)
+        a = factory.get("attack")
+        assert factory.get("attack") is a
+
+    def test_rng_factory_different_names_differ(self):
+        factory = RngFactory(seed=5)
+        a = factory.get("a").random()
+        b = factory.get("b").random()
+        assert a != b
+
+    def test_rng_factory_child_seed_stable(self):
+        assert RngFactory(seed=9).child_seed("x") == RngFactory(seed=9).child_seed("x")
+        assert RngFactory(seed=9).child_seed("x") != RngFactory(seed=10).child_seed("x")
+
+
+class TestValidation:
+    def test_check_positive_accepts_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    @pytest.mark.parametrize("value", [0, -1, float("nan"), float("inf")])
+    def test_check_positive_rejects(self, value):
+        with pytest.raises(ValidationError):
+            check_positive(value, "x")
+
+    def test_check_positive_int(self):
+        assert check_positive_int(3, "n") == 3
+        with pytest.raises(ValidationError):
+            check_positive_int(0, "n")
+        with pytest.raises(ValidationError):
+            check_positive_int(2.5, "n")
+        with pytest.raises(ValidationError):
+            check_positive_int(True, "n")
+
+    def test_check_fraction_bounds(self):
+        assert check_fraction(0.5, "f") == 0.5
+        assert check_fraction(1.0, "f") == 1.0
+        with pytest.raises(ValidationError):
+            check_fraction(0.0, "f")
+        assert check_fraction(0.0, "f", allow_zero=True) == 0.0
+        with pytest.raises(ValidationError):
+            check_fraction(1.2, "f")
+
+    def test_check_probability(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+        with pytest.raises(ValidationError):
+            check_probability(-0.1, "p")
+
+    def test_check_in_choices(self):
+        assert check_in_choices("a", "c", ("a", "b")) == "a"
+        with pytest.raises(ValidationError):
+            check_in_choices("z", "c", ("a", "b"))
+
+    def test_check_shape_wildcards(self):
+        array = np.zeros((3, 4))
+        assert check_shape(array, (3, None), "x") is not None
+        with pytest.raises(ValidationError):
+            check_shape(array, (3, 5), "x")
+        with pytest.raises(ValidationError):
+            check_shape(array, (3, 4, 1), "x")
+
+
+class TestSerialization:
+    def test_save_and_load_arrays_roundtrip(self, tmp_path):
+        arrays = {"a": np.arange(6).reshape(2, 3), "b": np.ones(4, dtype=np.float32)}
+        path = save_arrays(tmp_path / "state.npz", arrays)
+        loaded = load_arrays(path)
+        assert set(loaded) == {"a", "b"}
+        np.testing.assert_array_equal(loaded["a"], arrays["a"])
+        np.testing.assert_array_equal(loaded["b"], arrays["b"])
+
+    def test_save_json_converts_numpy_types(self, tmp_path):
+        payload = {"x": np.float64(1.5), "n": np.int64(3), "arr": np.arange(3)}
+        path = save_json(tmp_path / "out.json", payload)
+        loaded = load_json(path)
+        assert loaded == {"x": 1.5, "n": 3, "arr": [0, 1, 2]}
+
+    def test_save_json_rejects_unknown_types(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_json(tmp_path / "bad.json", {"x": object()})
