@@ -1,9 +1,12 @@
-"""Benchmark E-F7: regenerate the Fig. 7 susceptibility series.
+"""Benchmark E-F7: regenerate the Fig. 7 susceptibility series via the engine.
 
 The paper evaluates actuation and hotspot attacks at 1/5/10% intensity on the
 CONV block, the FC block and both blocks, with 10 random placements each, for
-the three CNN workloads.  The benchmark uses the same grid with fewer random
-placements so a full run stays laptop-sized; pass ``--placements`` through the
+the three CNN workloads.  The scenario grid is driven through the campaign
+engine (:mod:`repro.engine`) as a sweep of ``fig7_point`` runs: the first
+pass fans the grid out across a process pool (each worker trains the workload
+once and evaluates many points), the second pass must complete entirely from
+the result cache.  Pass ``--placements`` through the
 ``REPRO_FIG7_PLACEMENTS`` environment variable to raise it back to 10.
 """
 
@@ -13,41 +16,75 @@ import os
 
 import pytest
 
-from repro.analysis.reporting import format_fig7_table
-from repro.analysis.susceptibility import SusceptibilityConfig, SusceptibilityStudy
+from repro.engine import Campaign, SweepSpec
 
 _PLACEMENTS = int(os.environ.get("REPRO_FIG7_PLACEMENTS", "2"))
+_WORKERS = int(os.environ.get("REPRO_FIG7_WORKERS", "4"))
+_FRACTIONS = (0.01, 0.05, 0.10)
+
+
+def _grid(model_name: str) -> SweepSpec:
+    return SweepSpec(
+        experiment_id="fig7_point",
+        base={"model": model_name},
+        grid={
+            "kind": ["actuation", "hotspot"],
+            "block": ["conv", "fc", "both"],
+            "fraction": list(_FRACTIONS),
+            "placement": list(range(_PLACEMENTS)),
+        },
+    )
+
+
+def _accuracies(payloads, **filters) -> list[float]:
+    return [
+        p["accuracy"]
+        for p in payloads
+        if all(p[key] == value for key, value in filters.items())
+    ]
 
 
 @pytest.mark.parametrize("model_name", ["cnn_mnist", "resnet18", "vgg16_variant"])
-def test_fig7_susceptibility(benchmark, model_name, trained_workloads, accelerator_config):
+def test_fig7_susceptibility(benchmark, model_name, tmp_path):
     """Attacked accuracy across the attack grid for one workload (one Fig. 7 panel)."""
-    model, split = trained_workloads[model_name]
-    config = SusceptibilityConfig(
-        model_names=(model_name,),
-        num_placements=_PLACEMENTS,
-        accelerator=accelerator_config,
-        seed=0,
-    )
-    study = SusceptibilityStudy(config)
+    sweep = _grid(model_name)
+    cache_dir = tmp_path / "campaign-cache"
 
     def run():
-        return study.run(prepared={model_name: (model, split)})
+        return Campaign(sweep, cache=cache_dir, workers=_WORKERS).run()
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
-    print()
-    print(format_fig7_table(result, model_name))
+    assert result.failures == 0
+    assert result.executed == sweep.num_points
 
-    baseline = result.baselines[model_name]
+    payloads = result.payloads
+    baseline = payloads[0]["baseline"]
+    worst = {
+        kind: baseline - min(_accuracies(payloads, kind=kind))
+        for kind in ("hotspot", "actuation")
+    }
+    print()
+    print(f"Fig. 7 ({model_name}): baseline {baseline:.3f}, "
+          f"worst drops {worst} over {len(payloads)} grid points")
     benchmark.extra_info["baseline"] = baseline
-    benchmark.extra_info["worst_drop_hotspot"] = result.worst_case_drop(model_name, "hotspot")
-    benchmark.extra_info["worst_drop_actuation"] = result.worst_case_drop(model_name, "actuation")
+    benchmark.extra_info["worst_drop_hotspot"] = worst["hotspot"]
+    benchmark.extra_info["worst_drop_actuation"] = worst["actuation"]
+    benchmark.extra_info["campaign"] = result.summary()
+
+    # A second campaign over the same grid must be served from the cache.
+    cached = Campaign(sweep, cache=cache_dir, workers=_WORKERS).run()
+    assert cached.executed == 0
+    assert cached.cache_hits == sweep.num_points
+    assert [dict(r.payload) for r in cached.records] == [
+        dict(r.payload) for r in result.records
+    ]
+    benchmark.extra_info["cached_rerun_s"] = cached.duration_s
 
     # Paper-shape checks: accuracy degrades as the attacked fraction grows and
     # hotspot attacks are at least as damaging as actuation attacks.
-    small = result.accuracies_for(model_name, fraction=0.01).mean()
-    large = result.accuracies_for(model_name, fraction=0.10).mean()
+    small = sum(_accuracies(payloads, fraction=0.01)) / (len(payloads) // 3)
+    large = sum(_accuracies(payloads, fraction=0.10)) / (len(payloads) // 3)
     assert large <= small + 0.05
-    hotspot = result.accuracies_for(model_name, kind="hotspot", fraction=0.10).mean()
-    actuation = result.accuracies_for(model_name, kind="actuation", fraction=0.10).mean()
-    assert hotspot <= actuation + 0.05
+    hotspot = _accuracies(payloads, kind="hotspot", fraction=0.10)
+    actuation = _accuracies(payloads, kind="actuation", fraction=0.10)
+    assert sum(hotspot) / len(hotspot) <= sum(actuation) / len(actuation) + 0.05

@@ -1,61 +1,69 @@
 """Benchmark E-F8: regenerate the Fig. 8 mitigation-variant comparison.
 
 The paper's Fig. 8 compares the Original model, L2_reg, and l2+n1..l2+n9
-variants across all attack scenarios.  The benchmark trains a representative
-subset of the variant grid per workload (Original, L2_reg and three noise
-levels) and reports the box-plot statistics of their attacked accuracies.
+variants across all attack scenarios.  The benchmark sweeps a representative
+subset of the variant grid (Original, L2_reg and three noise levels) through
+the campaign engine — one ``fig8_variant`` run per variant, fanned out across
+a process pool — and reports the box-plot statistics of their attacked
+accuracies.
 """
 
 from __future__ import annotations
 
+import os
+
+import numpy as np
 import pytest
 
-from repro.analysis.mitigation_analysis import MitigationAnalysisConfig, MitigationStudy
-from repro.analysis.reporting import format_fig8_table
-from repro.mitigation import L2Config, NoiseAwareConfig, VariantSpec
+from repro.engine import Campaign, SweepSpec
+from repro.mitigation.selection import select_most_robust
 
-_VARIANTS = (
-    VariantSpec(name="Original"),
-    VariantSpec(name="L2_reg", l2=L2Config()),
-    VariantSpec(name="l2+n2", l2=L2Config(), noise=NoiseAwareConfig(std=0.2)),
-    VariantSpec(name="l2+n3", l2=L2Config(), noise=NoiseAwareConfig(std=0.3)),
-    VariantSpec(name="l2+n5", l2=L2Config(), noise=NoiseAwareConfig(std=0.5)),
-)
+_VARIANTS = ("Original", "L2_reg", "l2+n2", "l2+n3", "l2+n5")
+_WORKERS = int(os.environ.get("REPRO_FIG8_WORKERS", "4"))
 
 
 @pytest.mark.parametrize("model_name", ["cnn_mnist"])
-def test_fig8_variant_accuracy_distributions(benchmark, model_name, accelerator_config):
+def test_fig8_variant_accuracy_distributions(benchmark, model_name, tmp_path):
     """Accuracy distribution per mitigation variant (one Fig. 8 panel)."""
-    config = MitigationAnalysisConfig(
-        model_names=(model_name,),
-        variants=_VARIANTS,
-        blocks=("conv", "fc", "both"),
-        fractions=(0.01, 0.05, 0.10),
-        num_placements=2,
-        accelerator=accelerator_config,
-        seed=0,
+    sweep = SweepSpec(
+        experiment_id="fig8_variant",
+        base={
+            "model": model_name,
+            "blocks": ["conv", "fc", "both"],
+            "fractions": [0.01, 0.05, 0.10],
+            "num_placements": 2,
+        },
+        grid={"variant": list(_VARIANTS)},
     )
-    study = MitigationStudy(config)
 
-    result = benchmark.pedantic(study.run, rounds=1, iterations=1)
+    def run():
+        return Campaign(sweep, cache=tmp_path / "campaign-cache", workers=_WORKERS).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.failures == 0
+    payloads = {p["variant"]: p for p in result.payloads}
+    assert set(payloads) == set(_VARIANTS)
+
+    accuracy_by_variant = {
+        variant: np.asarray(payload["accuracies"])
+        for variant, payload in payloads.items()
+    }
+    best, _scores = select_most_robust(accuracy_by_variant)
+
     print()
-    print(format_fig8_table(result.distributions, model_name))
-    print(f"Most robust variant: {result.best_variant[model_name]}")
+    for variant in _VARIANTS:
+        payload = payloads[variant]
+        print(f"  {variant:<10} baseline {payload['baseline']:.3f}  "
+              f"median {payload['median']:.3f}  min {payload['min']:.3f}")
+    print(f"Most robust variant: {best}")
 
-    benchmark.extra_info["best_variant"] = result.best_variant[model_name]
-    for dist in result.distributions_for(model_name):
-        benchmark.extra_info[f"{dist.variant}_median"] = float(
-            sorted(dist.accuracies)[len(dist.accuracies) // 2]
-        )
+    benchmark.extra_info["best_variant"] = best
+    benchmark.extra_info["campaign"] = result.summary()
+    for variant, payload in payloads.items():
+        benchmark.extra_info[f"{variant}_median"] = payload["median"]
 
-    # Paper-shape checks: a combined L2 + noise variant is selected as the most
-    # robust configuration, and its median attacked accuracy is at least that
-    # of the original model.
-    best = result.best_variant[model_name]
+    # Paper-shape checks: a mitigation variant is selected as the most robust
+    # configuration, and its median attacked accuracy is at least that of the
+    # original model.
     assert best != "Original"
-    distributions = {d.variant: d for d in result.distributions_for(model_name)}
-    import numpy as np
-
-    assert np.median(distributions[best].accuracies) >= np.median(
-        distributions["Original"].accuracies
-    ) - 0.05
+    assert payloads[best]["median"] >= payloads["Original"]["median"] - 0.05

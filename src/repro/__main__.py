@@ -1,0 +1,6 @@
+"""Entry point for ``python -m repro`` (see :mod:`repro.engine.cli`)."""
+
+from repro.engine.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,7 +38,12 @@ from repro.analysis.reporting import (
     format_table,
     format_table1,
 )
-from repro.analysis.experiments import EXPERIMENTS, ExperimentDescriptor, get_experiment
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    ExperimentDescriptor,
+    experiment_ids,
+    get_experiment,
+)
 
 __all__ = [
     "BoxStats",
@@ -61,5 +66,6 @@ __all__ = [
     "format_fig9_table",
     "EXPERIMENTS",
     "ExperimentDescriptor",
+    "experiment_ids",
     "get_experiment",
 ]

@@ -1,64 +1,182 @@
 """Registry of the paper's experiments (tables, figures, ablations).
 
 Each entry maps an experiment id (``table1``, ``fig6`` .. ``fig9``,
-``ablation_mitigation``, ``ablation_tuning``) to a short description, the
-modules implementing it and a quick-run callable returning a result summary
-dictionary.  The benchmark suite and EXPERIMENTS.md are organised around
-these ids.
+``ablation_mitigation``, ``ablation_tuning``, plus the sweepable per-point
+experiments ``fig7_point`` and ``fig8_variant``) to a short description, the
+modules implementing it, and a *parameterized* runner returning a result
+summary dictionary.  The benchmark suite, the campaign engine
+(:mod:`repro.engine`) and EXPERIMENTS.md are organised around these ids.
+
+Runners take keyword parameters with JSON-serializable defaults recorded in
+``ExperimentDescriptor.default_params``; the engine resolves a
+:class:`~repro.engine.spec.RunSpec`'s parameter overrides against those
+defaults, which makes every experiment runnable (and cacheable) through
+``python -m repro run/sweep``.  The per-point experiments keep a per-process
+cache of trained workloads so a worker in a process pool trains each
+(model, seed) combination once and then evaluates many grid points against it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Callable, Mapping
 
-__all__ = ["ExperimentDescriptor", "EXPERIMENTS", "get_experiment"]
+__all__ = [
+    "ExperimentDescriptor",
+    "EXPERIMENTS",
+    "get_experiment",
+    "experiment_ids",
+]
 
 
 @dataclass(frozen=True)
 class ExperimentDescriptor:
-    """Metadata and quick-runner for one paper artefact."""
+    """Metadata and parameterized quick-runner for one paper artefact.
+
+    Attributes
+    ----------
+    experiment_id, title, paper_reference, modules, bench_target:
+        Descriptive metadata tying the experiment to the paper and code.
+    runner:
+        Callable accepting the keyword parameters listed in
+        ``default_params`` and returning a JSON-serializable summary dict.
+    default_params:
+        Default value for every parameter the runner accepts.  Overrides
+        passed to :meth:`run` are validated against this mapping, so a typo
+        in a sweep definition fails fast instead of being silently ignored.
+    """
 
     experiment_id: str
     title: str
     paper_reference: str
     modules: tuple[str, ...]
     bench_target: str
-    runner: Callable[[], dict]
+    runner: Callable[..., dict]
+    default_params: Mapping[str, object] = field(default_factory=dict)
 
-    def run(self) -> dict:
-        """Execute the quick version of the experiment."""
-        return self.runner()
+    @property
+    def seedable(self) -> bool:
+        """Whether the experiment exposes a ``seed`` parameter."""
+        return "seed" in self.default_params
+
+    def resolve_params(
+        self,
+        overrides: Mapping[str, object] | None = None,
+        *,
+        seed: int | None = None,
+    ) -> dict:
+        """Merge ``overrides`` (and ``seed``) into the default parameters."""
+        params = dict(self.default_params)
+        overrides = dict(overrides or {})
+        unknown = sorted(set(overrides) - set(params))
+        if unknown:
+            raise KeyError(
+                f"unknown parameter(s) {unknown} for experiment "
+                f"{self.experiment_id!r}; accepted: {sorted(params)}"
+            )
+        params.update(overrides)
+        if seed is not None:
+            if not self.seedable:
+                raise KeyError(
+                    f"experiment {self.experiment_id!r} does not take a seed"
+                )
+            params["seed"] = seed
+        return params
+
+    def run(
+        self,
+        params: Mapping[str, object] | None = None,
+        *,
+        seed: int | None = None,
+    ) -> dict:
+        """Execute the experiment with ``params`` merged over the defaults."""
+        return self.runner(**self.resolve_params(params, seed=seed))
+
+
+# ------------------------------------------------------------- shared caches
+#: Per-process cache of prepared Fig. 7 workloads keyed by
+#: ``(model_name, seed, quantize_weights)``.  A process-pool worker trains a
+#: workload once and reuses it for every grid point it executes.
+_FIG7_WORKLOADS: dict[tuple, tuple] = {}
+
+#: Per-process cache of dataset splits / trained variants for ``fig8_variant``.
+_FIG8_SPLITS: dict[tuple, object] = {}
+_FIG8_VARIANTS: dict[tuple, object] = {}
+
+
+def _prepared_fig7_workload(model: str, seed: int, quantize_weights: bool):
+    """Return ``(engine, split, baseline_accuracy)`` for a trained workload."""
+    from repro.accelerator.config import AcceleratorConfig
+    from repro.accelerator.inference import AttackedInferenceEngine
+    from repro.analysis.susceptibility import SusceptibilityConfig, SusceptibilityStudy
+
+    key = (model, seed, quantize_weights)
+    if key not in _FIG7_WORKLOADS:
+        config = SusceptibilityConfig(
+            model_names=(model,), seed=seed, quantize_weights=quantize_weights
+        )
+        trained, split = SusceptibilityStudy(config).prepare_workload(model)
+        engine = AttackedInferenceEngine(
+            trained,
+            config=AcceleratorConfig.scaled_config(),
+            quantize_weights=quantize_weights,
+        )
+        baseline = engine.clean_accuracy(split.test)
+        _FIG7_WORKLOADS[key] = (engine, split, baseline)
+    return _FIG7_WORKLOADS[key]
 
 
 # --------------------------------------------------------------------------- runners
-def _run_table1() -> dict:
+def _run_table1(include_measured: bool = True) -> dict:
     from repro.nn.models.table1 import table1_rows
 
-    rows = table1_rows(include_measured=True)
+    rows = table1_rows(include_measured=include_measured)
     return {"rows": rows}
 
 
-def _run_fig6() -> dict:
+def _run_fig6(
+    attacked_banks: tuple[int, ...] = (650, 1260),
+    heater_power_mw: float = 300.0,
+    affected_threshold_k: float = 5.0,
+) -> dict:
     from repro.accelerator.config import AcceleratorConfig
     from repro.thermal import Floorplan, simulate_hotspot_attack
 
     config = AcceleratorConfig.paper_config()
     geometry = config.conv_block
     floorplan = Floorplan(num_banks=geometry.num_banks, banks_per_row=geometry.rows)
-    result = simulate_hotspot_attack(floorplan, attacked_banks=[650, 1260])
+    result = simulate_hotspot_attack(
+        floorplan,
+        attacked_banks=list(attacked_banks),
+        heater_power_mw=heater_power_mw,
+    )
     return {
         "peak_rise_k": result.peak_rise_k,
         "attacked_banks": list(result.attacked_banks),
-        "num_affected_banks": len(result.affected_banks(5.0)),
+        "num_affected_banks": len(result.affected_banks(affected_threshold_k)),
     }
 
 
-def _run_fig7() -> dict:
+def _run_fig7(
+    model_names: tuple[str, ...] = ("cnn_mnist",),
+    kinds: tuple[str, ...] = ("actuation", "hotspot"),
+    blocks: tuple[str, ...] = ("both",),
+    fractions: tuple[float, ...] = (0.01, 0.10),
+    num_placements: int = 2,
+    seed: int = 0,
+) -> dict:
     from repro.analysis.susceptibility import SusceptibilityConfig, SusceptibilityStudy
 
-    study = SusceptibilityStudy(SusceptibilityConfig.quick())
-    result = study.run()
+    config = SusceptibilityConfig(
+        model_names=tuple(model_names),
+        kinds=tuple(kinds),
+        blocks=tuple(blocks),
+        fractions=tuple(fractions),
+        num_placements=num_placements,
+        seed=seed,
+    )
+    result = SusceptibilityStudy(config).run()
     return {
         "baselines": result.baselines,
         "worst_case_drops": {
@@ -67,10 +185,57 @@ def _run_fig7() -> dict:
     }
 
 
-def _run_fig8() -> dict:
+def _run_fig7_point(
+    model: str = "cnn_mnist",
+    kind: str = "hotspot",
+    block: str = "both",
+    fraction: float = 0.05,
+    placement: int = 0,
+    quantize_weights: bool = True,
+    seed: int = 0,
+) -> dict:
+    """One point of the Fig. 7 susceptibility grid (engine/sweep unit of work).
+
+    Seeds are derived exactly as :func:`repro.attacks.scenario.generate_scenarios`
+    derives them, so a sweep over (kind, block, fraction, placement) reproduces
+    the same scenarios as a monolithic :class:`SusceptibilityStudy` run.
+    """
+    from repro.accelerator.config import AcceleratorConfig
+    from repro.attacks.base import AttackSpec
+    from repro.attacks.hotspot import HotspotAttackConfig
+    from repro.attacks.scenario import AttackScenario, sample_outcome
+    from repro.utils.rng import RngFactory
+
+    engine, split, baseline = _prepared_fig7_workload(model, seed, quantize_weights)
+    spec = AttackSpec(kind=kind, target_block=block, fraction=fraction)
+    scenario_seed = RngFactory(seed=seed).child_seed(f"{spec.label()}#{placement}")
+    scenario = AttackScenario(spec=spec, placement=placement, seed=scenario_seed)
+    outcome = sample_outcome(
+        scenario, AcceleratorConfig.scaled_config(), HotspotAttackConfig()
+    )
+    accuracy = engine.accuracy_under_attack(split.test, outcome)
+    return {
+        "model": model,
+        "kind": kind,
+        "block": block,
+        "fraction": fraction,
+        "placement": placement,
+        "baseline": baseline,
+        "accuracy": accuracy,
+        "drop": baseline - accuracy,
+        "corrupted_fraction": engine.weight_corruption_fraction(outcome),
+    }
+
+
+def _run_fig8(
+    model_names: tuple[str, ...] = ("cnn_mnist",),
+    seed: int = 0,
+) -> dict:
     from repro.analysis.mitigation_analysis import MitigationAnalysisConfig, MitigationStudy
 
-    study = MitigationStudy(MitigationAnalysisConfig.quick())
+    study = MitigationStudy(
+        MitigationAnalysisConfig.quick(model_names=tuple(model_names), seed=seed)
+    )
     result = study.run()
     return {
         "best_variant": result.best_variant,
@@ -78,10 +243,89 @@ def _run_fig8() -> dict:
     }
 
 
-def _run_fig9() -> dict:
+def _run_fig8_variant(
+    model: str = "cnn_mnist",
+    variant: str = "l2+n3",
+    blocks: tuple[str, ...] = ("both",),
+    fractions: tuple[float, ...] = (0.05, 0.10),
+    num_placements: int = 2,
+    seed: int = 0,
+) -> dict:
+    """Train and evaluate one mitigation variant (engine/sweep unit of work).
+
+    The variant faces the same pre-sampled attack grid as every other variant
+    with the same sweep axes, so per-variant records assembled by a campaign
+    are directly comparable (as in the paper's Fig. 8 box plots).
+    """
+    import numpy as np
+
+    from repro.accelerator.config import AcceleratorConfig
+    from repro.accelerator.inference import AttackedInferenceEngine
+    from repro.analysis.mitigation_analysis import (
+        _WORKLOAD_DEFAULTS,
+        MitigationAnalysisConfig,
+        MitigationStudy,
+    )
+    from repro.attacks.hotspot import HotspotAttackConfig
+    from repro.attacks.scenario import generate_scenarios, sample_outcome
+    from repro.mitigation.robust_training import train_variant, variant_spec_from_name
+    from repro.nn.training import TrainingConfig
+
+    split_key = (model, seed)
+    if split_key not in _FIG8_SPLITS:
+        config = MitigationAnalysisConfig(model_names=(model,), seed=seed)
+        _FIG8_SPLITS[split_key] = MitigationStudy(config).prepare_split(model)
+    split = _FIG8_SPLITS[split_key]
+
+    variant_key = (model, variant, seed)
+    if variant_key not in _FIG8_VARIANTS:
+        defaults = _WORKLOAD_DEFAULTS[model]
+        base_config = TrainingConfig(seed=seed, **dict(defaults["training"]))
+        _FIG8_VARIANTS[variant_key] = train_variant(
+            model,
+            variant_spec_from_name(variant),
+            split,
+            base_config,
+            model_kwargs=dict(defaults["model_kwargs"]),
+        )
+    trained = _FIG8_VARIANTS[variant_key]
+
+    accelerator = AcceleratorConfig.scaled_config()
+    scenarios = generate_scenarios(
+        blocks=tuple(blocks),
+        fractions=tuple(fractions),
+        num_placements=num_placements,
+        master_seed=seed,
+    )
+    engine = AttackedInferenceEngine(trained.model, config=accelerator)
+    hotspot = HotspotAttackConfig()
+    accuracies = [
+        engine.accuracy_under_attack(
+            split.test, sample_outcome(scenario, accelerator, hotspot)
+        )
+        for scenario in scenarios
+    ]
+    values = np.asarray(accuracies, dtype=float)
+    return {
+        "model": model,
+        "variant": variant,
+        "baseline": trained.baseline_accuracy,
+        "accuracies": [float(a) for a in values],
+        "median": float(np.median(values)),
+        "mean": float(values.mean()),
+        "min": float(values.min()),
+    }
+
+
+def _run_fig9(
+    model_names: tuple[str, ...] = ("cnn_mnist",),
+    seed: int = 0,
+) -> dict:
     from repro.analysis.mitigation_analysis import MitigationAnalysisConfig, MitigationStudy
 
-    study = MitigationStudy(MitigationAnalysisConfig.quick())
+    study = MitigationStudy(
+        MitigationAnalysisConfig.quick(model_names=tuple(model_names), seed=seed)
+    )
     result = study.run()
     return {
         "comparison": [
@@ -96,19 +340,15 @@ def _run_fig9() -> dict:
     }
 
 
-def _run_ablation_mitigation() -> dict:
+def _run_ablation_mitigation(
+    variants: tuple[str, ...] = ("Original", "L2_reg", "noise_n3", "l2+n3"),
+    seed: int = 0,
+) -> dict:
     from repro.analysis.mitigation_analysis import MitigationAnalysisConfig, MitigationStudy
-    from repro.mitigation.l2_regularization import L2Config
-    from repro.mitigation.noise_aware import NoiseAwareConfig
-    from repro.mitigation.robust_training import VariantSpec
+    from repro.mitigation.robust_training import variant_spec_from_name
 
-    variants = (
-        VariantSpec(name="Original"),
-        VariantSpec(name="L2_reg", l2=L2Config()),
-        VariantSpec(name="noise_n3", noise=NoiseAwareConfig(std=0.3)),
-        VariantSpec(name="l2+n3", l2=L2Config(), noise=NoiseAwareConfig(std=0.3)),
-    )
-    study = MitigationStudy(MitigationAnalysisConfig.quick(variants=variants))
+    specs = tuple(variant_spec_from_name(name) for name in variants)
+    study = MitigationStudy(MitigationAnalysisConfig.quick(variants=specs, seed=seed))
     result = study.run()
     medians = {
         dist.variant: float(sorted(dist.accuracies)[len(dist.accuracies) // 2])
@@ -117,16 +357,22 @@ def _run_ablation_mitigation() -> dict:
     return {"median_attacked_accuracy": medians}
 
 
-def _run_ablation_tuning() -> dict:
+def _run_ablation_tuning(shifts_nm: tuple[float, ...] = (0.2, 2.0)) -> dict:
     from repro.accelerator.config import AcceleratorConfig
     from repro.accelerator.power import PowerModel
 
     model = PowerModel(AcceleratorConfig.paper_config())
-    return {
-        "shift_0.2nm": model.tuning_energy_comparison(0.2),
-        "shift_2nm": model.tuning_energy_comparison(2.0),
-        "total_power_w": model.report().total_w,
+    payload: dict = {
+        f"shift_{shift}nm": model.tuning_energy_comparison(shift)
+        for shift in shifts_nm
     }
+    payload["total_power_w"] = model.report().total_w
+    return payload
+
+
+def _params(**kwargs) -> Mapping[str, object]:
+    """Freeze a default-parameter mapping (descriptors are immutable)."""
+    return MappingProxyType(kwargs)
 
 
 EXPERIMENTS: dict[str, ExperimentDescriptor] = {
@@ -137,6 +383,7 @@ EXPERIMENTS: dict[str, ExperimentDescriptor] = {
         modules=("repro.nn.models",),
         bench_target="benchmarks/bench_table1_models.py",
         runner=_run_table1,
+        default_params=_params(include_measured=True),
     ),
     "fig6": ExperimentDescriptor(
         experiment_id="fig6",
@@ -145,6 +392,11 @@ EXPERIMENTS: dict[str, ExperimentDescriptor] = {
         modules=("repro.thermal", "repro.attacks.hotspot"),
         bench_target="benchmarks/bench_fig6_heatmap.py",
         runner=_run_fig6,
+        default_params=_params(
+            attacked_banks=(650, 1260),
+            heater_power_mw=300.0,
+            affected_threshold_k=5.0,
+        ),
     ),
     "fig7": ExperimentDescriptor(
         experiment_id="fig7",
@@ -153,6 +405,31 @@ EXPERIMENTS: dict[str, ExperimentDescriptor] = {
         modules=("repro.analysis.susceptibility", "repro.attacks", "repro.accelerator"),
         bench_target="benchmarks/bench_fig7_susceptibility.py",
         runner=_run_fig7,
+        default_params=_params(
+            model_names=("cnn_mnist",),
+            kinds=("actuation", "hotspot"),
+            blocks=("both",),
+            fractions=(0.01, 0.10),
+            num_placements=2,
+            seed=0,
+        ),
+    ),
+    "fig7_point": ExperimentDescriptor(
+        experiment_id="fig7_point",
+        title="One Fig. 7 susceptibility grid point (sweepable)",
+        paper_reference="Fig. 7(a)-(c)",
+        modules=("repro.analysis.susceptibility", "repro.attacks", "repro.engine"),
+        bench_target="benchmarks/bench_fig7_susceptibility.py",
+        runner=_run_fig7_point,
+        default_params=_params(
+            model="cnn_mnist",
+            kind="hotspot",
+            block="both",
+            fraction=0.05,
+            placement=0,
+            quantize_weights=True,
+            seed=0,
+        ),
     ),
     "fig8": ExperimentDescriptor(
         experiment_id="fig8",
@@ -161,6 +438,23 @@ EXPERIMENTS: dict[str, ExperimentDescriptor] = {
         modules=("repro.analysis.mitigation_analysis", "repro.mitigation"),
         bench_target="benchmarks/bench_fig8_variants.py",
         runner=_run_fig8,
+        default_params=_params(model_names=("cnn_mnist",), seed=0),
+    ),
+    "fig8_variant": ExperimentDescriptor(
+        experiment_id="fig8_variant",
+        title="One mitigation variant across the attack grid (sweepable)",
+        paper_reference="Fig. 8(a)-(c)",
+        modules=("repro.analysis.mitigation_analysis", "repro.mitigation", "repro.engine"),
+        bench_target="benchmarks/bench_fig8_variants.py",
+        runner=_run_fig8_variant,
+        default_params=_params(
+            model="cnn_mnist",
+            variant="l2+n3",
+            blocks=("both",),
+            fractions=(0.05, 0.10),
+            num_placements=2,
+            seed=0,
+        ),
     ),
     "fig9": ExperimentDescriptor(
         experiment_id="fig9",
@@ -169,6 +463,7 @@ EXPERIMENTS: dict[str, ExperimentDescriptor] = {
         modules=("repro.analysis.mitigation_analysis", "repro.mitigation.selection"),
         bench_target="benchmarks/bench_fig9_robust_vs_original.py",
         runner=_run_fig9,
+        default_params=_params(model_names=("cnn_mnist",), seed=0),
     ),
     "ablation_mitigation": ExperimentDescriptor(
         experiment_id="ablation_mitigation",
@@ -177,6 +472,9 @@ EXPERIMENTS: dict[str, ExperimentDescriptor] = {
         modules=("repro.mitigation",),
         bench_target="benchmarks/bench_ablation_mitigation.py",
         runner=_run_ablation_mitigation,
+        default_params=_params(
+            variants=("Original", "L2_reg", "noise_n3", "l2+n3"), seed=0
+        ),
     ),
     "ablation_tuning": ExperimentDescriptor(
         experiment_id="ablation_tuning",
@@ -185,8 +483,14 @@ EXPERIMENTS: dict[str, ExperimentDescriptor] = {
         modules=("repro.photonics.tuning", "repro.accelerator.power"),
         bench_target="benchmarks/bench_photonic_primitives.py",
         runner=_run_ablation_tuning,
+        default_params=_params(shifts_nm=(0.2, 2.0)),
     ),
 }
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment ids in registry order."""
+    return list(EXPERIMENTS)
 
 
 def get_experiment(experiment_id: str) -> ExperimentDescriptor:

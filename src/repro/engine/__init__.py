@@ -1,0 +1,47 @@
+"""Parallel experiment-campaign engine.
+
+Turns the experiment registry (:mod:`repro.analysis.experiments`) into a
+scalable orchestration layer:
+
+* :mod:`repro.engine.spec` — declarative :class:`RunSpec`/:class:`SweepSpec`
+  definitions (Cartesian grids, zipped lists, seed replication).
+* :mod:`repro.engine.executor` — serial and process-pool execution with
+  deterministic per-run seeding.
+* :mod:`repro.engine.cache` — content-addressed on-disk result store keyed
+  by spec fingerprint + library version.
+* :mod:`repro.engine.records` — structured :class:`RunRecord` results with
+  timing and provenance metadata.
+* :mod:`repro.engine.campaign` — the high-level :class:`Campaign` API tying
+  specs, executor and cache together with streamed progress.
+* :mod:`repro.engine.cli` — the ``python -m repro`` command line.
+"""
+
+from repro.engine.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.engine.campaign import Campaign, CampaignResult, ProgressEvent
+from repro.engine.executor import (
+    ProcessPoolRunExecutor,
+    SerialExecutor,
+    execute_run,
+    make_executor,
+    run_all,
+)
+from repro.engine.records import RunRecord
+from repro.engine.spec import RunSpec, SweepSpec, canonical_json, spec_fingerprint
+
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "ProgressEvent",
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "RunRecord",
+    "RunSpec",
+    "SweepSpec",
+    "SerialExecutor",
+    "ProcessPoolRunExecutor",
+    "execute_run",
+    "make_executor",
+    "run_all",
+    "canonical_json",
+    "spec_fingerprint",
+]

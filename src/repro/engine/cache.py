@@ -1,0 +1,105 @@
+"""Content-addressed on-disk result store for campaign runs.
+
+Each successful :class:`~repro.engine.records.RunRecord` is written to
+``<root>/<experiment_id>/<fingerprint>.json``.  The fingerprint hashes the
+resolved run spec together with the ``repro`` version, so a library upgrade
+invalidates every cached point without any bookkeeping: old records simply
+stop being addressed.
+
+JSON keeps the store greppable and diffable; payloads are summary-sized
+dictionaries (not raw arrays), so compactness is not a concern.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator
+
+from repro.engine.records import RunRecord
+from repro.engine.spec import RunSpec, spec_fingerprint
+from repro.utils.serialization import load_json, save_json
+from repro.version import __version__
+
+__all__ = ["ResultCache", "DEFAULT_CACHE_DIR"]
+
+#: Default cache location (relative to the working directory); override with
+#: the ``REPRO_CACHE_DIR`` environment variable or the CLI ``--cache-dir``.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class ResultCache:
+    """Filesystem-backed store of run records keyed by spec fingerprints."""
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR, version: str = __version__):
+        self.root = Path(root)
+        self.version = version
+
+    # ------------------------------------------------------------- keying
+    def fingerprint(self, spec: RunSpec) -> str:
+        return spec_fingerprint(spec, self.version)
+
+    def path_for(self, spec: RunSpec) -> Path:
+        return self.root / spec.experiment_id / f"{self.fingerprint(spec)}.json"
+
+    # ------------------------------------------------------------ lookups
+    def contains(self, spec: RunSpec) -> bool:
+        return self.path_for(spec).is_file()
+
+    def get(self, spec: RunSpec) -> RunRecord | None:
+        """Return the cached record for ``spec``, or ``None`` on a miss.
+
+        Unreadable or corrupt entries are treated as misses (the executor
+        will simply recompute and overwrite them).
+        """
+        path = self.path_for(spec)
+        if not path.is_file():
+            return None
+        try:
+            record = RunRecord.from_dict(load_json(path))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError):
+            return None
+        return record.as_cached()
+
+    def put(self, record: RunRecord) -> Path:
+        """Persist a record (only successful runs are worth caching).
+
+        The file is addressed by *this cache's* fingerprint of the spec, so
+        a cache constructed for a different library version never serves (or
+        shadows) records produced under another one.
+        """
+        if not record.ok:
+            raise ValueError(
+                f"refusing to cache failed run {record.spec.label()}: {record.error}"
+            )
+        return save_json(self.path_for(record.spec), record.to_dict())
+
+    # --------------------------------------------------------- maintenance
+    def invalidate(self, spec: RunSpec) -> bool:
+        """Drop the cached record for ``spec``; returns whether one existed."""
+        path = self.path_for(spec)
+        if path.is_file():
+            path.unlink()
+            return True
+        return False
+
+    def clear(self) -> int:
+        """Remove every record; returns the number of files deleted."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def records(self, experiment_id: str | None = None) -> Iterator[RunRecord]:
+        """Iterate stored records (optionally for one experiment), sorted by path.
+
+        This walks *all* stored files including ones written under other
+        library versions — it is the audit/report view, not the lookup path.
+        """
+        pattern = f"{experiment_id}/*.json" if experiment_id else "*/*.json"
+        for path in sorted(self.root.glob(pattern)):
+            try:
+                yield RunRecord.from_dict(load_json(path)).as_cached()
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError):
+                continue

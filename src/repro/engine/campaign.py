@@ -1,0 +1,152 @@
+"""High-level campaign API: specs + executor + cache, with streamed progress.
+
+A :class:`Campaign` takes a :class:`~repro.engine.spec.SweepSpec` (or an
+explicit list of :class:`~repro.engine.spec.RunSpec` points), partitions the
+points into cache hits and pending work, fans the pending work out through an
+executor, persists fresh results, and returns a :class:`CampaignResult` whose
+records are in spec order regardless of completion order.
+
+Progress is streamed through an optional callback so CLIs and benchmarks can
+report liveness without the engine knowing anything about terminals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Callable, Sequence
+
+from repro.engine.cache import ResultCache
+from repro.engine.executor import (
+    ProcessPoolRunExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.engine.records import RunRecord
+from repro.engine.spec import RunSpec, SweepSpec
+
+__all__ = ["Campaign", "CampaignResult", "ProgressEvent"]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One completed point, as reported to the progress callback."""
+
+    record: RunRecord
+    done: int
+    total: int
+
+    @property
+    def message(self) -> str:
+        source = "cache" if self.record.cached else f"{self.record.duration_s:.2f}s"
+        status = "" if self.record.ok else f"  ERROR {self.record.error}"
+        return (
+            f"[{self.done}/{self.total}] {self.record.spec.label()} ({source}){status}"
+        )
+
+
+@dataclass
+class CampaignResult:
+    """All records of a campaign plus execution statistics."""
+
+    records: list[RunRecord] = field(default_factory=list)
+    cache_hits: int = 0
+    executed: int = 0
+    failures: int = 0
+    duration_s: float = 0.0
+    executor_kind: str = "serial"
+
+    @property
+    def payloads(self) -> list[dict]:
+        """Successful payloads in spec order."""
+        return [dict(r.payload) for r in self.records if r.ok]
+
+    def summary(self) -> dict:
+        return {
+            "points": len(self.records),
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "failures": self.failures,
+            "duration_s": round(self.duration_s, 3),
+            "executor": self.executor_kind,
+        }
+
+
+class Campaign:
+    """Ties a sweep, an executor and a result cache into one runnable unit.
+
+    Parameters
+    ----------
+    sweep:
+        A :class:`SweepSpec`, or any sequence of :class:`RunSpec` points.
+    cache:
+        A :class:`ResultCache`, a directory path to create one at, or
+        ``None`` to disable caching entirely.
+    workers:
+        Executor knob (see :func:`repro.engine.executor.make_executor`):
+        ``None``/``1`` runs serially, larger integers use a process pool.
+    progress:
+        Optional callback invoked with a :class:`ProgressEvent` after every
+        completed point (cache hits included).
+    """
+
+    def __init__(
+        self,
+        sweep: SweepSpec | Sequence[RunSpec],
+        cache: ResultCache | str | Path | None = None,
+        workers: int | str | None = None,
+        progress: Callable[[ProgressEvent], None] | None = None,
+    ):
+        if isinstance(sweep, SweepSpec):
+            self.specs: list[RunSpec] = sweep.expand()
+        else:
+            self.specs = list(sweep)
+        if isinstance(cache, (str, Path)):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.executor: SerialExecutor | ProcessPoolRunExecutor = make_executor(workers)
+        self.progress = progress
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> CampaignResult:
+        """Execute every point, serving repeats from the cache."""
+        start = perf_counter()
+        result = CampaignResult(executor_kind=self.executor.kind)
+        records: list[RunRecord | None] = [None] * len(self.specs)
+
+        pending: list[tuple[int, RunSpec]] = []
+        for index, spec in enumerate(self.specs):
+            cached = self.cache.get(spec) if self.cache is not None else None
+            if cached is not None:
+                records[index] = cached
+                result.cache_hits += 1
+            else:
+                pending.append((index, spec))
+
+        done = result.cache_hits
+        total = len(self.specs)
+        # Cache hits are announced up front, in spec order.
+        if self.progress is not None:
+            for hit_number, record in enumerate(
+                (r for r in records if r is not None), start=1
+            ):
+                self.progress(ProgressEvent(record=record, done=hit_number, total=total))
+
+        pending_specs = [spec for _, spec in pending]
+        for position, record in self.executor.run_specs(pending_specs):
+            index = pending[position][0]
+            records[index] = record
+            result.executed += 1
+            done += 1
+            if record.ok:
+                if self.cache is not None:
+                    self.cache.put(record)
+            else:
+                result.failures += 1
+            if self.progress is not None:
+                self.progress(ProgressEvent(record=record, done=done, total=total))
+
+        result.records = [record for record in records if record is not None]
+        result.duration_s = perf_counter() - start
+        return result

@@ -1,0 +1,316 @@
+"""``python -m repro`` — campaign CLI for the paper's experiments.
+
+Subcommands
+-----------
+``list``
+    Show every registered experiment with its paper artefact and parameters.
+``run <experiment_id>``
+    Execute one experiment (through the cache) and print its payload.
+``sweep <experiment_id>``
+    Expand a parameter sweep (``--grid``/``--zip``/``--set``/``--seeds``)
+    and run it through the serial or process-pool executor with caching.
+``report``
+    Summarize the records accumulated in the result cache.
+
+Parameter values are parsed as JSON when possible (``0.05`` → float,
+``true`` → bool, ``[1,2]`` → list) and fall back to plain strings, so
+``--grid kind=actuation,hotspot`` and ``--set fraction=0.05`` both do what
+they look like they do.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Sequence
+
+from repro.engine.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.engine.campaign import Campaign, ProgressEvent
+from repro.engine.spec import RunSpec, SweepSpec
+
+__all__ = ["main", "build_parser"]
+
+
+# ------------------------------------------------------------------ parsing
+def parse_value(text: str):
+    """Parse one CLI value: JSON when valid, bare string otherwise."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def parse_assignment(text: str) -> tuple[str, object]:
+    """Parse ``name=value`` into a (name, parsed value) pair."""
+    name, sep, value = text.partition("=")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(
+            f"expected name=value, got {text!r}"
+        )
+    return name, parse_value(value)
+
+
+def _split_top_level(text: str) -> list[str]:
+    """Split on commas that are not nested inside brackets or quotes."""
+    parts: list[str] = []
+    depth = 0
+    quote: str | None = None
+    current = ""
+    for char in text:
+        if quote is not None:
+            current += char
+            if char == quote:
+                quote = None
+        elif char in "\"'":
+            quote = char
+            current += char
+        elif char in "[{(":
+            depth += 1
+            current += char
+        elif char in ")}]":
+            depth -= 1
+            current += char
+        elif char == "," and depth == 0:
+            parts.append(current)
+            current = ""
+        else:
+            current += char
+    parts.append(current)
+    return [part for part in parts if part]
+
+
+def parse_axis(text: str) -> tuple[str, list]:
+    """Parse ``name=v1,v2,v3`` into a (name, values) sweep axis.
+
+    Values are split on top-level commas only, so JSON lists work as single
+    axis values: ``shifts_nm=[0.2,2.0],[1.0]`` is a two-point axis.
+    """
+    name, sep, raw = text.partition("=")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(f"expected name=value, got {text!r}")
+    return name, [parse_value(part) for part in _split_top_level(raw)]
+
+
+def parse_seeds(text: str) -> tuple[int, ...]:
+    return tuple(int(part) for part in text.split(",") if part)
+
+
+# -------------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run and sweep the paper's experiments through the campaign engine.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    def add_cache_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--cache-dir",
+            default=os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR),
+            help="result-cache directory (env: REPRO_CACHE_DIR)",
+        )
+        p.add_argument(
+            "--no-cache", action="store_true", help="bypass the result cache"
+        )
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment_id")
+    run.add_argument(
+        "--set", "-p", dest="params", type=parse_assignment, action="append",
+        default=[], metavar="NAME=VALUE", help="override one parameter",
+    )
+    run.add_argument("--seed", type=int, default=None, help="experiment seed")
+    run.add_argument("--json", action="store_true", help="print the payload as JSON")
+    add_cache_args(run)
+
+    sweep = sub.add_parser("sweep", help="run a parameter sweep")
+    sweep.add_argument("experiment_id")
+    sweep.add_argument(
+        "--grid", type=parse_axis, action="append", default=[],
+        metavar="NAME=V1,V2,..", help="Cartesian sweep axis (repeatable)",
+    )
+    sweep.add_argument(
+        "--zip", dest="zipped", type=parse_axis, action="append", default=[],
+        metavar="NAME=V1,V2,..", help="position-wise sweep axis (repeatable)",
+    )
+    sweep.add_argument(
+        "--set", "-p", dest="params", type=parse_assignment, action="append",
+        default=[], metavar="NAME=VALUE", help="fixed parameter override",
+    )
+    sweep.add_argument(
+        "--seeds", type=parse_seeds, default=(0,), metavar="S1,S2,..",
+        help="seeds replicated over every point (default: 0)",
+    )
+    sweep.add_argument(
+        "--workers", "-j", default=None,
+        help="process-pool size (default/1: run serially)",
+    )
+    sweep.add_argument("--serial", action="store_true", help="force serial execution")
+    sweep.add_argument("--json", action="store_true", help="print payloads as JSON")
+    sweep.add_argument("--quiet", "-q", action="store_true", help="no per-point progress")
+    add_cache_args(sweep)
+
+    report = sub.add_parser("report", help="summarize cached campaign records")
+    report.add_argument("--experiment", default=None, help="restrict to one experiment id")
+    report.add_argument("--json", action="store_true", help="print the summary as JSON")
+    report.add_argument(
+        "--cache-dir",
+        default=os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR),
+        help="result-cache directory (env: REPRO_CACHE_DIR)",
+    )
+    return parser
+
+
+# ----------------------------------------------------------------- commands
+def _cmd_list() -> int:
+    from repro.analysis.experiments import EXPERIMENTS
+    from repro.analysis.reporting import format_table
+
+    rows = [
+        (
+            descriptor.experiment_id,
+            descriptor.paper_reference,
+            descriptor.title,
+            ", ".join(sorted(descriptor.default_params)) or "-",
+        )
+        for descriptor in EXPERIMENTS.values()
+    ]
+    print(format_table(("id", "artefact", "title", "parameters"), rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import get_experiment
+
+    try:
+        descriptor = get_experiment(args.experiment_id)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 1
+    params = dict(args.params)
+    if "seed" in params and args.seed is None:
+        args.seed = int(params.pop("seed"))  # --set seed=N behaves like --seed N
+    if args.seed is not None and not descriptor.seedable:
+        print(f"error: experiment {args.experiment_id!r} does not take a seed",
+              file=sys.stderr)
+        return 2
+    resolved = descriptor.resolve_params(params)
+    resolved.pop("seed", None)
+    spec = RunSpec(
+        experiment_id=args.experiment_id,
+        params=resolved,
+        seed=args.seed if args.seed is not None else 0,
+    )
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    campaign = Campaign([spec], cache=cache)
+    result = campaign.run()
+    record = result.records[0]
+    if not record.ok:
+        print(f"error: {record.error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(dict(record.payload), indent=2, sort_keys=True))
+    else:
+        source = "cache" if record.cached else f"executed in {record.duration_s:.2f}s"
+        print(f"{descriptor.experiment_id} ({descriptor.paper_reference}) — {source}")
+        for key, value in record.payload.items():
+            print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    workers = "serial" if args.serial else args.workers
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    progress = None
+    if not args.quiet and not args.json:
+        def progress(event: ProgressEvent) -> None:
+            print(event.message, flush=True)
+    try:
+        sweep = SweepSpec(
+            experiment_id=args.experiment_id,
+            base=dict(args.params),
+            grid=dict(args.grid),
+            zipped=dict(args.zipped),
+            seeds=args.seeds,
+        )
+        campaign = Campaign(sweep, cache=cache, workers=workers, progress=progress)
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 1
+    print(
+        f"sweep {args.experiment_id}: {len(campaign.specs)} points "
+        f"({campaign.executor.kind})",
+        file=sys.stderr,
+    )
+    result = campaign.run()
+    if args.json:
+        print(json.dumps(
+            {"summary": result.summary(), "payloads": result.payloads},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        summary = result.summary()
+        print(
+            f"done: {summary['points']} points, {summary['executed']} executed, "
+            f"{summary['cache_hits']} cache hits, {summary['failures']} failures "
+            f"in {summary['duration_s']}s"
+        )
+    return 1 if result.failures else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import format_table
+
+    cache = ResultCache(args.cache_dir)
+    per_experiment: dict[str, dict] = {}
+    for record in cache.records(args.experiment):
+        stats = per_experiment.setdefault(
+            record.spec.experiment_id,
+            {"records": 0, "total_duration_s": 0.0, "last_run": ""},
+        )
+        stats["records"] += 1
+        stats["total_duration_s"] += record.duration_s
+        stats["last_run"] = max(stats["last_run"], record.started_at)
+    if args.json:
+        print(json.dumps(per_experiment, indent=2, sort_keys=True))
+        return 0
+    if not per_experiment:
+        print(f"no cached records under {cache.root}")
+        return 0
+    rows = [
+        (
+            experiment_id,
+            stats["records"],
+            f"{stats['total_duration_s']:.2f}",
+            stats["last_run"] or "-",
+        )
+        for experiment_id, stats in sorted(per_experiment.items())
+    ]
+    print(format_table(("experiment", "records", "compute_s", "last_run"), rows))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "report":
+            return _cmd_report(args)
+    except BrokenPipeError:  # e.g. `python -m repro list | head`
+        sys.stderr.close()  # suppress the interpreter's flush-time warning
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

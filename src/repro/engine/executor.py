@@ -1,0 +1,147 @@
+"""Run-spec executors: serial and process-pool.
+
+:func:`execute_run` is the single unit of work shared by both execution
+strategies — it resolves the experiment, runs it with the spec's parameters
+and seed, and wraps the outcome (or the failure) into a
+:class:`~repro.engine.records.RunRecord`.  It is a module-level function so
+the process pool can pickle references to it; only the plain-data
+:class:`~repro.engine.spec.RunSpec` crosses process boundaries.
+
+Determinism: each run's randomness is fully derived from ``spec.seed`` (the
+experiment runners thread it through :mod:`repro.utils.rng`), so the same
+spec produces byte-identical payloads whether it executes inline, in a fresh
+process, or in a pool worker that has already run other specs.  Worker
+processes keep per-process caches of trained workloads (see
+:mod:`repro.analysis.experiments`), which makes large sweeps dramatically
+cheaper without affecting results.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from datetime import datetime, timezone
+from time import perf_counter
+from typing import Iterable, Iterator, Sequence
+
+from repro.engine.records import RunRecord
+from repro.engine.spec import RunSpec, spec_fingerprint
+from repro.utils.validation import check_positive_int
+from repro.version import __version__
+
+__all__ = [
+    "execute_run",
+    "SerialExecutor",
+    "ProcessPoolRunExecutor",
+    "make_executor",
+    "run_all",
+]
+
+
+def execute_run(
+    spec: RunSpec,
+    version: str = __version__,
+    executor_kind: str = "serial",
+) -> RunRecord:
+    """Execute one run spec and return its record (never raises).
+
+    Failures are captured in the record (``status="error"``) so one bad grid
+    point cannot abort a thousand-point sweep.
+    """
+    from repro.analysis.experiments import get_experiment
+
+    started_at = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    start = perf_counter()
+    try:
+        descriptor = get_experiment(spec.experiment_id)
+        seed = spec.seed if descriptor.seedable else None
+        payload = descriptor.run(spec.params, seed=seed)
+        status, error = "ok", None
+    except Exception as exc:  # noqa: BLE001 — sweep survives bad points
+        payload, status, error = {}, "error", f"{type(exc).__name__}: {exc}"
+    return RunRecord(
+        fingerprint=spec_fingerprint(spec, version),
+        spec=spec,
+        payload=payload,
+        status=status,
+        error=error,
+        duration_s=perf_counter() - start,
+        started_at=started_at,
+        provenance={
+            "version": version,
+            "executor": executor_kind,
+            "pid": os.getpid(),
+        },
+    )
+
+
+class SerialExecutor:
+    """Runs specs one after another in the current process."""
+
+    kind = "serial"
+
+    def run_specs(self, specs: Sequence[RunSpec]) -> Iterator[tuple[int, RunRecord]]:
+        """Yield ``(index, record)`` for every spec, in order."""
+        for index, spec in enumerate(specs):
+            yield index, execute_run(spec, executor_kind=self.kind)
+
+
+class ProcessPoolRunExecutor:
+    """Fans specs out across a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+    Results are yielded as they complete (for progress streaming); callers
+    that need spec order reassemble by the yielded index.  ``max_workers``
+    defaults to the machine's CPU count capped at 8 — experiment runners are
+    NumPy-heavy, so oversubscription beyond physical cores buys nothing.
+    """
+
+    kind = "process-pool"
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is None:
+            max_workers = min(os.cpu_count() or 1, 8)
+        self.max_workers = check_positive_int(max_workers, "max_workers")
+
+    def run_specs(self, specs: Sequence[RunSpec]) -> Iterator[tuple[int, RunRecord]]:
+        """Yield ``(index, record)`` as runs complete across the pool."""
+        if not specs:
+            return
+        with ProcessPoolExecutor(max_workers=min(self.max_workers, len(specs))) as pool:
+            futures = {
+                pool.submit(execute_run, spec, __version__, self.kind): index
+                for index, spec in enumerate(specs)
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield futures[future], future.result()
+
+
+def make_executor(
+    workers: int | str | None,
+) -> SerialExecutor | ProcessPoolRunExecutor:
+    """Build an executor from a worker-count knob.
+
+    ``None``, ``0``, ``1`` or ``"serial"`` select the serial executor;
+    any larger integer selects a process pool of that size.
+    """
+    if workers == "serial":
+        return SerialExecutor()
+    if isinstance(workers, str):
+        workers = int(workers)
+    if workers in (None, 0, 1):
+        return SerialExecutor()
+    return ProcessPoolRunExecutor(max_workers=workers)
+
+
+def run_all(
+    executor: SerialExecutor | ProcessPoolRunExecutor,
+    specs: Iterable[RunSpec],
+) -> list[RunRecord]:
+    """Convenience: execute ``specs`` and return records in spec order."""
+    specs = list(specs)
+    records: list[RunRecord | None] = [None] * len(specs)
+    for index, record in executor.run_specs(specs):
+        records[index] = record
+    return [record for record in records if record is not None]

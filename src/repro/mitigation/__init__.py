@@ -23,6 +23,7 @@ from repro.mitigation.robust_training import (
     default_variant_grid,
     train_variant,
     train_variant_grid,
+    variant_spec_from_name,
 )
 from repro.mitigation.selection import select_most_robust
 
@@ -36,5 +37,6 @@ __all__ = [
     "default_variant_grid",
     "train_variant",
     "train_variant_grid",
+    "variant_spec_from_name",
     "select_most_robust",
 ]

@@ -23,7 +23,7 @@ from repro.nn.module import Module
 from repro.nn.training import Trainer, TrainingConfig, TrainingHistory, evaluate_accuracy
 
 __all__ = ["VariantSpec", "VariantResult", "default_variant_grid", "train_variant",
-           "train_variant_grid"]
+           "train_variant_grid", "variant_spec_from_name"]
 
 
 @dataclass(frozen=True)
@@ -85,6 +85,30 @@ def default_variant_grid(
             noise = NoiseAwareConfig(std=std)
             grid.append(VariantSpec(name=f"noise_{noise.variant_suffix}", noise=noise))
     return grid
+
+
+def variant_spec_from_name(name: str) -> VariantSpec:
+    """Parse a paper-style variant label into a :class:`VariantSpec`.
+
+    Supported labels: ``Original``, ``L2_reg``, ``l2+n1`` .. ``l2+n9`` and
+    ``noise_n1`` .. ``noise_n9``.  This lets sweep definitions (and the
+    ``python -m repro`` CLI) express the mitigation grid with plain strings.
+    """
+    if name == "Original":
+        return VariantSpec(name=name)
+    if name == "L2_reg":
+        return VariantSpec(name=name, l2=L2Config())
+    for prefix, with_l2 in (("l2+n", True), ("noise_n", False)):
+        if name.startswith(prefix) and name[len(prefix):].isdigit():
+            std = round(int(name[len(prefix):]) / 10, 1)
+            noise = NoiseAwareConfig(std=std)
+            return VariantSpec(
+                name=name, l2=L2Config() if with_l2 else None, noise=noise
+            )
+    raise ValueError(
+        f"unknown variant name {name!r}; expected 'Original', 'L2_reg', "
+        "'l2+n<K>' or 'noise_n<K>' with K in 1..9"
+    )
 
 
 def train_variant(

@@ -83,6 +83,42 @@ class TestGridSolver:
         with pytest.raises(ValueError):
             solver.solve(-np.ones((4, 4)))
 
+    def test_factorization_reused_across_power_maps(self):
+        """Repeated solves on one grid shape reuse a single factorization."""
+        solver = GridThermalSolver(ThermalSolverConfig(grid_rows=12, grid_cols=12))
+        p1 = np.zeros((12, 12)); p1[3, 3] = 0.02
+        p2 = np.zeros((12, 12)); p2[8, 8] = 0.05
+        first = solver.solve(p1)
+        assert list(solver._solver_cache) == [(12, 12)]
+        factorization = solver._solver_cache[(12, 12)]
+        solver.solve(p2)
+        solver.solve(np.zeros((6, 6)))  # second shape gets its own entry
+        assert solver._solver_cache[(12, 12)] is factorization
+        assert set(solver._solver_cache) == {(12, 12), (6, 6)}
+        np.testing.assert_allclose(solver.solve(p1), first, rtol=0, atol=0)
+
+    def test_matches_dense_reference_solution(self):
+        """The vectorized assembly solves the same balance as a dense reference."""
+        config = ThermalSolverConfig(grid_rows=5, grid_cols=4)
+        solver = GridThermalSolver(config)
+        rows, cols = 5, 4
+        k_lat = config.lateral_conductance_w_per_k
+        g_sink = config.die_sink_conductance_w_per_k / (rows * cols)
+        dense = np.zeros((rows * cols, rows * cols))
+        for r in range(rows):
+            for c in range(cols):
+                i = r * cols + c
+                dense[i, i] = g_sink
+                for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+                    rr, cc = r + dr, c + dc
+                    if 0 <= rr < rows and 0 <= cc < cols:
+                        dense[i, rr * cols + cc] = -k_lat
+                        dense[i, i] += k_lat
+        power = np.linspace(0, 0.01, rows * cols).reshape(rows, cols)
+        rhs = power.ravel() + g_sink * config.ambient_temperature_k
+        expected = np.linalg.solve(dense, rhs).reshape(rows, cols)
+        np.testing.assert_allclose(solver.solve(power), expected, rtol=1e-9)
+
 
 class TestHotspotHeatmap:
     def test_attacked_banks_are_hottest(self):
