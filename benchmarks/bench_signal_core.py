@@ -1,0 +1,49 @@
+"""Benchmark: seed object path vs the vectorized signal array-core.
+
+Times a 64x64 signal-level matrix-vector product and a 1000-trial
+thermal-attack Monte-Carlo sweep on both device-simulation paths (the seed
+per-ring-object implementation preserved in :mod:`repro.photonics.legacy`,
+and the struct-of-arrays core in :mod:`repro.photonics.bank_array`), checks
+they agree to 1e-9, and emits ``BENCH_signal_core.json``.
+
+Run directly (``python benchmarks/bench_signal_core.py [output.json]``) or
+via the CLI (``python -m repro bench``); a pytest-benchmark entry point is
+provided for the opt-in benchmark suite.  The acceptance floors are >=20x on
+the matvec and >=50x on the Monte-Carlo sweep.
+"""
+
+from __future__ import annotations
+
+import sys
+
+DEFAULT_OUTPUT = "BENCH_signal_core.json"
+
+
+def test_signal_core_speedups(benchmark):
+    """Array-core speedups over the seed object path (opt-in bench suite)."""
+    from repro.analysis.signal_bench import run_signal_core_bench
+
+    results = benchmark.pedantic(
+        lambda: run_signal_core_bench(output=DEFAULT_OUTPUT),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["matvec_speedup"] = results["matvec"]["speedup_array_vs_seed"]
+    benchmark.extra_info["mc_speedup"] = results["monte_carlo"]["speedup_array_vs_seed"]
+    assert results["equivalent_within_tol"]
+    assert results["matvec"]["speedup_array_vs_seed"] >= 20.0
+    assert results["monte_carlo"]["speedup_array_vs_seed"] >= 50.0
+
+
+def main(argv: list[str]) -> int:
+    from repro.analysis.signal_bench import format_bench_report, run_signal_core_bench
+
+    output = argv[0] if argv else DEFAULT_OUTPUT
+    results = run_signal_core_bench(output=output)
+    print(format_bench_report(results))
+    print(f"\nwrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -2,18 +2,29 @@
 
 The functional inference path (:mod:`repro.accelerator.inference`) corrupts
 weights analytically.  This module runs the same operations through the
-actual photonic device models (:class:`~repro.photonics.vdp.VDPUnit`,
-:class:`~repro.photonics.mr_bank.MRBankPair`) for small operand sizes, so
-integration tests and the examples can validate that the analytic corruption
-model agrees with the signal-level behaviour of the hardware.
+actual photonic device models for arbitrary operand sizes, so integration
+tests and the examples can validate that the analytic corruption model agrees
+with the signal-level behaviour of the hardware.
+
+Two backends compute identical physics:
+
+* ``"array"`` (default) — the vectorized array-core
+  (:mod:`repro.photonics.bank_array`): matrix-vector products evaluate all
+  rows as one broadcast Lorentzian, and :meth:`SignalLevelSimulator.monte_carlo`
+  sweeps thousands of attack trials in one shot.
+* ``"object"`` — the seed per-ring object path
+  (:mod:`repro.photonics.legacy`), kept as the reference the array-core is
+  checked against.  One programmed bank pair is reused across calls instead
+  of reconstructing ``2*n`` ring objects per dot product.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.photonics.bank_array import BankArrayPair
 from repro.photonics.dac_adc import ADC, DAC
-from repro.photonics.mr_bank import MRBankPair
+from repro.photonics.legacy import ObjectMRBankPair
 from repro.photonics.thermal_sensitivity import ThermalSensitivity
 from repro.photonics.waveguide import WDMGrid
 from repro.utils.validation import ValidationError, check_positive_int
@@ -33,6 +44,9 @@ class SignalLevelSimulator:
         apples-to-apples comparisons with the functional model).
     use_converters:
         Quantize operands with the DAC and outputs with the ADC.
+    backend:
+        ``"array"`` (vectorized array-core, default) or ``"object"`` (seed
+        per-ring reference path).
     """
 
     def __init__(
@@ -43,16 +57,53 @@ class SignalLevelSimulator:
         dac_bits: int = 8,
         adc_bits: int = 10,
         use_converters: bool = False,
+        backend: str = "array",
     ):
+        if backend not in ("array", "object"):
+            raise ValidationError(f"backend must be 'array' or 'object', got {backend!r}")
         self.vector_size = check_positive_int(vector_size, "vector_size")
         self.grid = WDMGrid(num_channels=vector_size, spacing_nm=channel_spacing_nm)
         self.q_factor = q_factor
         self.dac = DAC(bits=dac_bits) if use_converters else None
         self.adc = ADC(bits=adc_bits) if use_converters else None
         self.sensitivity = ThermalSensitivity()
+        self.backend = backend
+        #: Persistent array-core pair stacks keyed by bank count (1 for dot
+        #: products, ``rows`` for matvecs) — rebuilt state, never reallocated
+        #: ring objects.
+        self._array_pairs: dict[int, BankArrayPair] = {}
+        #: Persistent legacy pair, programmed in place across calls.
+        self._object_pair: ObjectMRBankPair | None = None
 
-    def _new_bank_pair(self) -> MRBankPair:
-        return MRBankPair(self.vector_size, grid=self.grid, q_factor=self.q_factor)
+    # ------------------------------------------------------------- plumbing
+    def _array_pair(self, banks: int) -> BankArrayPair:
+        if banks not in self._array_pairs:
+            self._array_pairs[banks] = BankArrayPair(
+                self.vector_size, banks=banks, grid=self.grid, q_factor=self.q_factor
+            )
+        return self._array_pairs[banks]
+
+    def _legacy_pair(self) -> ObjectMRBankPair:
+        """The reused seed-path bank pair (2·n ring objects built once)."""
+        if self._object_pair is None:
+            self._object_pair = ObjectMRBankPair(
+                self.vector_size, grid=self.grid, q_factor=self.q_factor
+            )
+        return self._object_pair
+
+    def _quantize_operands(
+        self, inputs: np.ndarray, weights: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if self.dac is not None:
+            inputs = np.clip(self.dac.convert(inputs), 0.0, 1.0)
+            weights = np.clip(self.dac.convert(weights), 0.0, 1.0)
+        return inputs, weights
+
+    def _quantize_outputs(self, results: np.ndarray | float) -> np.ndarray | float:
+        if self.adc is None:
+            return results
+        normalized = np.asarray(results, dtype=float) / self.vector_size
+        return np.asarray(self.adc.convert(normalized)) * self.vector_size
 
     # -------------------------------------------------------------- products
     def dot(
@@ -80,20 +131,26 @@ class SignalLevelSimulator:
                 f"operands must have shape ({self.vector_size},), "
                 f"got {inputs.shape} and {weights.shape}"
             )
-        if self.dac is not None:
-            inputs = np.clip(self.dac.convert(inputs), 0.0, 1.0)
-            weights = np.clip(self.dac.convert(weights), 0.0, 1.0)
-        pair = self._new_bank_pair()
-        pair.program(inputs, weights)
-        if attacked_weight_mrs:
-            pair.weight_bank.apply_actuation_attack(attacked_weight_mrs)
-        if bank_delta_t_k > 0:
-            pair.weight_bank.apply_thermal_attack(bank_delta_t_k, self.sensitivity)
-        result = pair.dot_product()
-        if self.adc is not None:
-            normalized = result / self.vector_size
-            result = float(self.adc.convert(normalized)) * self.vector_size
-        return result
+        inputs, weights = self._quantize_operands(inputs, weights)
+        if self.backend == "object":
+            pair = self._legacy_pair()
+            pair.clear_attacks()
+            pair.program(inputs, weights)
+            if attacked_weight_mrs:
+                pair.weight_bank.apply_actuation_attack(attacked_weight_mrs)
+            if bank_delta_t_k > 0:
+                pair.weight_bank.apply_thermal_attack(bank_delta_t_k, self.sensitivity)
+            result = pair.dot_product()
+        else:
+            pair = self._array_pair(1)
+            pair.clear_attacks()
+            pair.program(inputs, weights)
+            if attacked_weight_mrs:
+                pair.weight_bank.apply_actuation_attack(attacked_weight_mrs)
+            if bank_delta_t_k > 0:
+                pair.weight_bank.apply_thermal_attack(bank_delta_t_k, self.sensitivity)
+            result = float(pair.dot_products()[0])
+        return float(self._quantize_outputs(result))
 
     def matvec(
         self,
@@ -105,7 +162,8 @@ class SignalLevelSimulator:
         """Optical matrix-vector product, one bank pair per matrix row.
 
         ``attacked_rows`` maps row index → attacked weight-MR indices;
-        ``row_delta_t_k`` maps row index → bank temperature rise.
+        ``row_delta_t_k`` maps row index → bank temperature rise.  The array
+        backend evaluates every row in one vectorized pass.
         """
         matrix = np.asarray(matrix, dtype=float)
         vector = np.asarray(vector, dtype=float)
@@ -115,15 +173,85 @@ class SignalLevelSimulator:
             )
         attacked_rows = attacked_rows or {}
         row_delta_t_k = row_delta_t_k or {}
-        outputs = np.zeros(matrix.shape[0])
-        for row in range(matrix.shape[0]):
-            outputs[row] = self.dot(
-                vector,
-                matrix[row],
-                attacked_weight_mrs=attacked_rows.get(row),
-                bank_delta_t_k=row_delta_t_k.get(row, 0.0),
+        if self.backend == "object":
+            outputs = np.zeros(matrix.shape[0])
+            for row in range(matrix.shape[0]):
+                outputs[row] = self.dot(
+                    vector,
+                    matrix[row],
+                    attacked_weight_mrs=attacked_rows.get(row),
+                    bank_delta_t_k=row_delta_t_k.get(row, 0.0),
+                )
+            return outputs
+        if vector.shape != (self.vector_size,):
+            raise ValidationError(
+                f"vector must be ({self.vector_size},), got {vector.shape}"
             )
-        return outputs
+        vector, matrix = self._quantize_operands(vector, matrix)
+        pair = self._array_pair(matrix.shape[0])
+        outputs = pair.matvec(
+            matrix,
+            vector,
+            attacked_rows=attacked_rows,
+            row_delta_t_k=row_delta_t_k,
+            sensitivity=self.sensitivity,
+        )
+        return np.asarray(self._quantize_outputs(outputs), dtype=float)
+
+    # ------------------------------------------------------------ Monte Carlo
+    def monte_carlo(
+        self,
+        inputs: np.ndarray,
+        weights: np.ndarray,
+        delta_t_k: np.ndarray | None = None,
+        actuation_masks: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Batched attacked dot products: one result per Monte-Carlo trial.
+
+        The operands are programmed once; per-trial attacks are applied as a
+        ``(trials, 1, rings)`` batch axis over the array-core, so a
+        thousand-trial thermal sweep is one broadcast evaluation instead of a
+        thousand bank reconstructions.
+
+        Parameters
+        ----------
+        inputs, weights:
+            Normalized operands in ``[0, 1]`` of length ``vector_size``.
+        delta_t_k:
+            Per-trial weight-bank temperature rises, shape ``(trials,)`` (one
+            hotspot per trial) or ``(trials, rings)`` (per-ring profiles).
+        actuation_masks:
+            Per-trial actuated weight-MR masks, shape ``(trials, rings)``.
+
+        Returns
+        -------
+        ndarray of shape ``(trials,)``.
+        """
+        inputs = np.asarray(inputs, dtype=float)
+        weights = np.asarray(weights, dtype=float)
+        if inputs.shape != (self.vector_size,) or weights.shape != (self.vector_size,):
+            raise ValidationError(
+                f"operands must have shape ({self.vector_size},), "
+                f"got {inputs.shape} and {weights.shape}"
+            )
+        inputs, weights = self._quantize_operands(inputs, weights)
+        if delta_t_k is not None:
+            delta_t_k = np.asarray(delta_t_k, dtype=float)
+            if delta_t_k.ndim == 2:  # (trials, rings) → (trials, 1 bank, rings)
+                delta_t_k = delta_t_k[:, None, :]
+        if actuation_masks is not None:
+            actuation_masks = np.asarray(actuation_masks, dtype=bool)
+            if actuation_masks.ndim == 2:
+                actuation_masks = actuation_masks[:, None, :]
+        pair = self._array_pair(1)
+        pair.clear_attacks()
+        pair.program(inputs, weights)
+        outputs = pair.monte_carlo(
+            delta_t_k=delta_t_k,
+            actuation_masks=actuation_masks,
+            sensitivity=self.sensitivity,
+        )[:, 0]
+        return np.asarray(self._quantize_outputs(outputs), dtype=float)
 
     # ---------------------------------------------------------------- checks
     def functional_equivalent_dot(

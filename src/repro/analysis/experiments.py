@@ -2,7 +2,8 @@
 
 Each entry maps an experiment id (``table1``, ``fig6`` .. ``fig9``,
 ``ablation_mitigation``, ``ablation_tuning``, plus the sweepable per-point
-experiments ``fig7_point`` and ``fig8_variant``) to a short description, the
+experiments ``fig7_point``, ``fig8_variant`` and ``signal_mc``) to a short
+description, the
 modules implementing it, and a *parameterized* runner returning a result
 summary dictionary.  The benchmark suite, the campaign engine
 (:mod:`repro.engine`) and EXPERIMENTS.md are organised around these ids.
@@ -317,6 +318,61 @@ def _run_fig8_variant(
     }
 
 
+def _run_signal_mc(
+    size: int = 16,
+    trials: int = 200,
+    kind: str = "hotspot",
+    fraction: float = 0.125,
+    max_delta_t_k: float = 25.0,
+    seed: int = 0,
+) -> dict:
+    """Signal-level Monte-Carlo attack sweep on one bank pair (sweepable).
+
+    Samples ``trials`` random attacks against a randomly programmed bank pair
+    and reports the distribution of dot-product errors, all through the
+    vectorized array-core (one batched evaluation, no per-trial device
+    reconstruction).  ``kind="hotspot"`` draws per-trial weight-bank
+    temperatures uniformly in ``[0, max_delta_t_k]``; ``kind="actuation"``
+    actuates ``round(fraction * size)`` random weight rings per trial.
+    """
+    import numpy as np
+
+    from repro.accelerator.signal_sim import SignalLevelSimulator
+    from repro.utils.rng import RngFactory
+
+    if kind not in ("hotspot", "actuation"):
+        raise ValueError(f"kind must be 'hotspot' or 'actuation', got {kind!r}")
+    factory = RngFactory(seed=seed)
+    rng_operands = factory.get("signal-mc-operands")
+    rng_attacks = factory.get("signal-mc-attacks")
+    inputs = rng_operands.random(size)
+    weights = rng_operands.random(size)
+    simulator = SignalLevelSimulator(size)
+    clean = simulator.dot(inputs, weights)
+    if kind == "hotspot":
+        deltas = rng_attacks.uniform(0.0, max_delta_t_k, size=trials)
+        outputs = simulator.monte_carlo(inputs, weights, delta_t_k=deltas)
+    else:
+        attacked = max(1, int(round(fraction * size)))
+        order = np.argsort(rng_attacks.random((trials, size)), axis=1)
+        masks = np.zeros((trials, size), dtype=bool)
+        np.put_along_axis(masks, order[:, :attacked], True, axis=1)
+        outputs = simulator.monte_carlo(inputs, weights, actuation_masks=masks)
+    errors = np.abs(outputs - clean)
+    return {
+        "size": size,
+        "trials": trials,
+        "kind": kind,
+        "exact": float(inputs @ weights),
+        "clean": clean,
+        "mean_abs_error": float(errors.mean()),
+        "max_abs_error": float(errors.max()),
+        "p50_abs_error": float(np.percentile(errors, 50)),
+        "p95_abs_error": float(np.percentile(errors, 95)),
+        "corrupted_trials_fraction": float(np.mean(errors > 0.05)),
+    }
+
+
 def _run_fig9(
     model_names: tuple[str, ...] = ("cnn_mnist",),
     seed: int = 0,
@@ -453,6 +509,22 @@ EXPERIMENTS: dict[str, ExperimentDescriptor] = {
             blocks=("both",),
             fractions=(0.05, 0.10),
             num_placements=2,
+            seed=0,
+        ),
+    ),
+    "signal_mc": ExperimentDescriptor(
+        experiment_id="signal_mc",
+        title="Signal-level Monte-Carlo attack sweep on a bank pair (sweepable)",
+        paper_reference="Figs. 4-5",
+        modules=("repro.photonics.bank_array", "repro.accelerator.signal_sim"),
+        bench_target="benchmarks/bench_signal_core.py",
+        runner=_run_signal_mc,
+        default_params=_params(
+            size=16,
+            trials=200,
+            kind="hotspot",
+            fraction=0.125,
+            max_delta_t_k=25.0,
             seed=0,
         ),
     ),

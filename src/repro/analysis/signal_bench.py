@@ -1,0 +1,190 @@
+"""Seed-vs-vectorized signal-core benchmark (``python -m repro bench``).
+
+Times the two device-simulation paths against each other on the workloads the
+array-core refactor targets:
+
+* ``matvec`` — an ``n x n`` signal-level matrix-vector product.  The *seed*
+  path reconstructs a fresh per-ring-object bank pair for every row (exactly
+  what the seed ``SignalLevelSimulator.dot`` did); the *object-reuse* path is
+  the same loop over one reused pair; the *array* path evaluates every row as
+  one broadcast Lorentzian.
+* ``monte_carlo`` — a thermal-hotspot attack sweep over random per-trial
+  temperatures.  The seed path rebuilds and re-attacks an object pair per
+  trial; the array path runs all trials as one batched evaluation.
+
+Each section records wall times (``time.perf_counter``), the speedups, and
+the maximum disagreement between the paths (the array-core must track the
+seed path to 1e-9).  :func:`run_signal_core_bench` returns the result
+dictionary and optionally writes it as JSON (``BENCH_signal_core.json``),
+which the CI workflow uploads as a non-gating perf-trajectory record.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+from time import perf_counter
+from typing import Callable
+
+import numpy as np
+
+from repro.version import __version__
+
+__all__ = ["run_signal_core_bench", "format_bench_report"]
+
+#: Disagreement bound between the seed object path and the array-core.
+EQUIVALENCE_TOL = 1e-9
+
+
+def _time(fn: Callable[[], object], repeats: int) -> tuple[float, object]:
+    """Best-of-``repeats`` wall time and the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(max(repeats, 1)):
+        start = perf_counter()
+        result = fn()
+        best = min(best, perf_counter() - start)
+    return best, result
+
+
+def _seed_dot(
+    grid,
+    q_factor: float,
+    inputs: np.ndarray,
+    weights: np.ndarray,
+    delta_t_k: float = 0.0,
+) -> float:
+    """One dot product exactly as the seed simulator computed it: a fresh
+    object pair (2·n ring objects) constructed, programmed and attacked per
+    call."""
+    from repro.photonics.legacy import ObjectMRBankPair
+    from repro.photonics.thermal_sensitivity import ThermalSensitivity
+
+    pair = ObjectMRBankPair(grid.num_channels, grid=grid, q_factor=q_factor)
+    pair.program(inputs, weights)
+    if delta_t_k > 0:
+        pair.weight_bank.apply_thermal_attack(delta_t_k, ThermalSensitivity())
+    return pair.dot_product()
+
+
+def _bench_matvec(size: int, repeats: int, seed: int) -> dict:
+    from repro.accelerator.signal_sim import SignalLevelSimulator
+
+    rng = np.random.default_rng(seed)
+    matrix = rng.random((size, size))
+    vector = rng.random(size)
+
+    sim_array = SignalLevelSimulator(size)
+    sim_object = SignalLevelSimulator(size, backend="object")
+    grid = sim_array.grid
+    q_factor = sim_array.q_factor
+
+    def seed_matvec() -> np.ndarray:
+        return np.array([
+            _seed_dot(grid, q_factor, vector, matrix[row]) for row in range(size)
+        ])
+
+    sim_array.matvec(matrix, vector)  # warm the persistent pair stack
+    seed_s, seed_out = _time(seed_matvec, repeats)
+    reuse_s, reuse_out = _time(lambda: sim_object.matvec(matrix, vector), repeats)
+    array_s, array_out = _time(lambda: sim_array.matvec(matrix, vector), repeats)
+    return {
+        "size": size,
+        "seed_s": seed_s,
+        "object_reuse_s": reuse_s,
+        "array_s": array_s,
+        "speedup_array_vs_seed": seed_s / array_s,
+        "speedup_array_vs_object_reuse": reuse_s / array_s,
+        "max_abs_diff_vs_seed": float(
+            max(
+                np.max(np.abs(np.asarray(array_out) - seed_out)),
+                np.max(np.abs(np.asarray(reuse_out) - seed_out)),
+            )
+        ),
+    }
+
+
+def _bench_monte_carlo(size: int, trials: int, repeats: int, seed: int) -> dict:
+    from repro.accelerator.signal_sim import SignalLevelSimulator
+
+    rng = np.random.default_rng(seed)
+    inputs = rng.random(size)
+    weights = rng.random(size)
+    deltas = rng.uniform(0.0, 30.0, trials)
+
+    sim_array = SignalLevelSimulator(size)
+    grid = sim_array.grid
+    q_factor = sim_array.q_factor
+
+    def seed_sweep() -> np.ndarray:
+        return np.array([
+            _seed_dot(grid, q_factor, inputs, weights, delta_t_k=delta)
+            for delta in deltas
+        ])
+
+    sim_array.monte_carlo(inputs, weights, delta_t_k=deltas[: min(8, trials)])  # warm
+    seed_s, seed_out = _time(seed_sweep, repeats)
+    array_s, array_out = _time(
+        lambda: sim_array.monte_carlo(inputs, weights, delta_t_k=deltas), repeats
+    )
+    return {
+        "size": size,
+        "trials": trials,
+        "seed_s": seed_s,
+        "array_s": array_s,
+        "speedup_array_vs_seed": seed_s / array_s,
+        "max_abs_diff_vs_seed": float(np.max(np.abs(np.asarray(array_out) - seed_out))),
+    }
+
+
+def run_signal_core_bench(
+    matvec_size: int = 64,
+    mc_size: int = 64,
+    mc_trials: int = 1000,
+    repeats: int = 3,
+    seed: int = 0,
+    output: str | Path | None = None,
+) -> dict:
+    """Run both benchmark sections and optionally write the JSON record."""
+    results = {
+        "benchmark": "signal_core",
+        "version": __version__,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "matvec": _bench_matvec(matvec_size, repeats, seed),
+        "monte_carlo": _bench_monte_carlo(mc_size, mc_trials, repeats, seed),
+    }
+    results["equivalent_within_tol"] = bool(
+        results["matvec"]["max_abs_diff_vs_seed"] <= EQUIVALENCE_TOL
+        and results["monte_carlo"]["max_abs_diff_vs_seed"] <= EQUIVALENCE_TOL
+    )
+    if output is not None:
+        Path(output).write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    return results
+
+
+def format_bench_report(results: dict) -> str:
+    """Human-readable summary of a :func:`run_signal_core_bench` result."""
+    matvec = results["matvec"]
+    mc = results["monte_carlo"]
+    lines = [
+        f"signal-core benchmark (repro {results['version']}, "
+        f"python {results['python']}, numpy {results['numpy']})",
+        "",
+        f"matvec {matvec['size']}x{matvec['size']}:",
+        f"  seed object path      {matvec['seed_s'] * 1e3:9.2f} ms",
+        f"  object path (reused)  {matvec['object_reuse_s'] * 1e3:9.2f} ms",
+        f"  array-core            {matvec['array_s'] * 1e3:9.2f} ms"
+        f"   ({matvec['speedup_array_vs_seed']:.1f}x vs seed)",
+        f"  max |diff| vs seed    {matvec['max_abs_diff_vs_seed']:.2e}",
+        "",
+        f"thermal Monte-Carlo ({mc['trials']} trials, {mc['size']} rings):",
+        f"  seed object path      {mc['seed_s'] * 1e3:9.2f} ms",
+        f"  array-core            {mc['array_s'] * 1e3:9.2f} ms"
+        f"   ({mc['speedup_array_vs_seed']:.1f}x vs seed)",
+        f"  max |diff| vs seed    {mc['max_abs_diff_vs_seed']:.2e}",
+        "",
+        f"paths agree within {EQUIVALENCE_TOL:g}: {results['equivalent_within_tol']}",
+    ]
+    return "\n".join(lines)

@@ -10,7 +10,11 @@ Subcommands
     Expand a parameter sweep (``--grid``/``--zip``/``--set``/``--seeds``)
     and run it through the serial or process-pool executor with caching.
 ``report``
-    Summarize the records accumulated in the result cache.
+    Summarize the records accumulated in the result cache, including
+    min/mean/max per-run wall time per experiment.
+``bench``
+    Run the signal-core benchmark (seed object path vs vectorized
+    array-core) and emit ``BENCH_signal_core.json``.
 
 Parameter values are parsed as JSON when possible (``0.05`` → float,
 ``true`` → bool, ``[1,2]`` → list) and fall back to plain strings, so
@@ -162,6 +166,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR),
         help="result-cache directory (env: REPRO_CACHE_DIR)",
     )
+
+    bench = sub.add_parser(
+        "bench", help="benchmark the signal array-core against the seed object path"
+    )
+    bench.add_argument(
+        "--matvec-size", type=int, default=64, help="matrix-vector operand size"
+    )
+    bench.add_argument(
+        "--mc-size", type=int, default=64, help="Monte-Carlo bank size (rings)"
+    )
+    bench.add_argument(
+        "--trials", type=int, default=1000, help="Monte-Carlo attack trials"
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats (best-of)"
+    )
+    bench.add_argument("--seed", type=int, default=0, help="operand/attack seed")
+    bench.add_argument(
+        "--output", default="BENCH_signal_core.json",
+        help="JSON output path ('-' to skip writing)",
+    )
+    bench.add_argument("--json", action="store_true", help="print the results as JSON")
     return parser
 
 
@@ -267,15 +293,25 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import format_table
 
     cache = ResultCache(args.cache_dir)
-    per_experiment: dict[str, dict] = {}
+    durations: dict[str, list[float]] = {}
+    last_runs: dict[str, str] = {}
     for record in cache.records(args.experiment):
-        stats = per_experiment.setdefault(
-            record.spec.experiment_id,
-            {"records": 0, "total_duration_s": 0.0, "last_run": ""},
+        experiment_id = record.spec.experiment_id
+        durations.setdefault(experiment_id, []).append(record.duration_s)
+        last_runs[experiment_id] = max(
+            last_runs.get(experiment_id, ""), record.started_at
         )
-        stats["records"] += 1
-        stats["total_duration_s"] += record.duration_s
-        stats["last_run"] = max(stats["last_run"], record.started_at)
+    per_experiment = {
+        experiment_id: {
+            "records": len(times),
+            "total_duration_s": sum(times),
+            "min_duration_s": min(times),
+            "mean_duration_s": sum(times) / len(times),
+            "max_duration_s": max(times),
+            "last_run": last_runs[experiment_id],
+        }
+        for experiment_id, times in durations.items()
+    }
     if args.json:
         print(json.dumps(per_experiment, indent=2, sort_keys=True))
         return 0
@@ -287,11 +323,38 @@ def _cmd_report(args: argparse.Namespace) -> int:
             experiment_id,
             stats["records"],
             f"{stats['total_duration_s']:.2f}",
+            f"{stats['min_duration_s']:.3f}",
+            f"{stats['mean_duration_s']:.3f}",
+            f"{stats['max_duration_s']:.3f}",
             stats["last_run"] or "-",
         )
         for experiment_id, stats in sorted(per_experiment.items())
     ]
-    print(format_table(("experiment", "records", "compute_s", "last_run"), rows))
+    print(format_table(
+        ("experiment", "records", "compute_s", "min_s", "mean_s", "max_s", "last_run"),
+        rows,
+    ))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.signal_bench import format_bench_report, run_signal_core_bench
+
+    output = None if args.output == "-" else args.output
+    results = run_signal_core_bench(
+        matvec_size=args.matvec_size,
+        mc_size=args.mc_size,
+        mc_trials=args.trials,
+        repeats=args.repeats,
+        seed=args.seed,
+        output=output,
+    )
+    if args.json:
+        print(json.dumps(results, indent=2, sort_keys=True))
+    else:
+        print(format_bench_report(results))
+        if output is not None:
+            print(f"\nwrote {output}")
     return 0
 
 
@@ -306,6 +369,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_sweep(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
     except BrokenPipeError:  # e.g. `python -m repro list | head`
         sys.stderr.close()  # suppress the interpreter's flush-time warning
         return 0

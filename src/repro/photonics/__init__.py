@@ -10,10 +10,13 @@ The modules here model the components highlighted in the paper's Fig. 2:
 * photodetectors and data converters (:mod:`repro.photonics.photodetector`,
   :mod:`repro.photonics.dac_adc`),
 * MR banks and vector-dot-product units (:mod:`repro.photonics.mr_bank`,
-  :mod:`repro.photonics.vdp`).
+  :mod:`repro.photonics.vdp`), both thin views over the vectorized
+  struct-of-arrays core (:mod:`repro.photonics.bank_array`); the seed
+  per-ring-object reference path lives in :mod:`repro.photonics.legacy`.
 """
 
 from repro.photonics import constants
+from repro.photonics.bank_array import BankArray, BankArrayPair
 from repro.photonics.microring import MicroringResonator, MRState
 from repro.photonics.thermal_sensitivity import ThermalSensitivity, resonance_shift
 from repro.photonics.tuning import ElectroOpticTuner, ThermoOpticTuner, TuningCircuit
@@ -21,7 +24,7 @@ from repro.photonics.waveguide import WDMGrid, Waveguide
 from repro.photonics.laser import LaserSource
 from repro.photonics.photodetector import Photodetector
 from repro.photonics.dac_adc import ADC, DAC
-from repro.photonics.mr_bank import MRBank, MRBankPair
+from repro.photonics.mr_bank import MRBank, MRBankPair, RingView
 from repro.photonics.vdp import VDPUnit
 from repro.photonics.noise_models import OpticalNoiseModel
 
@@ -40,8 +43,11 @@ __all__ = [
     "Photodetector",
     "DAC",
     "ADC",
+    "BankArray",
+    "BankArrayPair",
     "MRBank",
     "MRBankPair",
+    "RingView",
     "VDPUnit",
     "OpticalNoiseModel",
 ]

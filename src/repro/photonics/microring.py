@@ -10,6 +10,10 @@ An MR is the fundamental multiply element of the non-coherent accelerator
   resonance detuning that produces that through-port transmission;
 * attack states: ``off-resonance`` (actuation attack) and an additional
   thermally-induced resonance shift (hotspot attack).
+
+This scalar per-ring model is the ground truth the vectorized array-core
+(:mod:`repro.photonics.bank_array`) is property-tested against; keep the
+Lorentzian and detuning formulas in the two modules in sync.
 """
 
 from __future__ import annotations
@@ -135,6 +139,8 @@ class MicroringResonator:
         traverse the bank's rings in series and each ring attenuates its own
         carrier down to the programmed value.
         """
+        if not np.isfinite(value):
+            raise ValidationError(f"imprinted value must be finite, got {value}")
         if not 0.0 <= value <= 1.0:
             raise ValidationError(f"imprinted value must be in [0, 1], got {value}")
         t_min = 10.0 ** (-self.extinction_ratio_db / 10.0)

@@ -58,13 +58,17 @@ class OpticalNoiseModel:
         return 10.0 ** (self.crosstalk_db / 10.0)
 
     def apply_crosstalk(self, channel_powers: np.ndarray) -> np.ndarray:
-        """Mix a fraction of each neighbouring channel into every carrier."""
+        """Mix a fraction of each neighbouring channel into every carrier.
+
+        The channel axis is the last one, so batched ``(..., channels)``
+        arrays (one row per bank or Monte-Carlo trial) work unchanged.
+        """
         powers = np.asarray(channel_powers, dtype=float)
         mixed = powers.copy()
         fraction = self.crosstalk_fraction
-        if powers.size > 1 and fraction > 0:
-            mixed[:-1] += fraction * powers[1:]
-            mixed[1:] += fraction * powers[:-1]
+        if powers.shape[-1] > 1 and fraction > 0:
+            mixed[..., :-1] += fraction * powers[..., 1:]
+            mixed[..., 1:] += fraction * powers[..., :-1]
         return mixed
 
     def apply_insertion_loss(self, channel_powers: np.ndarray, num_mrs: int) -> np.ndarray:

@@ -32,8 +32,12 @@ class ThermalSensitivity:
         check_positive(self.thermo_optic_coeff, "thermo_optic_coeff")
         check_positive(self.group_index, "group_index")
 
-    def shift_per_kelvin(self, wavelength_nm: float) -> float:
-        """Resonance shift per Kelvin [nm/K] at ``wavelength_nm``."""
+    def shift_per_kelvin(self, wavelength_nm: float | np.ndarray) -> float | np.ndarray:
+        """Resonance shift per Kelvin [nm/K] at ``wavelength_nm``.
+
+        Accepts a scalar wavelength or an ndarray of per-ring wavelengths (the
+        vectorized bank array evaluates Eq. 2 for a whole bank at once).
+        """
         return (
             self.confinement_factor
             * self.thermo_optic_coeff
@@ -42,11 +46,17 @@ class ThermalSensitivity:
         )
 
     def resonance_shift_nm(
-        self, wavelength_nm: float, delta_temperature_k: float | np.ndarray
+        self,
+        wavelength_nm: float | np.ndarray,
+        delta_temperature_k: float | np.ndarray,
     ) -> float | np.ndarray:
-        """Eq. 2: resonance shift [nm] for a temperature change [K]."""
+        """Eq. 2: resonance shift [nm] for a temperature change [K].
+
+        Both arguments broadcast against each other, so per-ring wavelength
+        arrays and batched ``(trials, banks, rings)`` temperature axes work.
+        """
         shift = self.shift_per_kelvin(wavelength_nm) * np.asarray(delta_temperature_k, dtype=float)
-        if np.isscalar(delta_temperature_k):
+        if np.isscalar(delta_temperature_k) and np.isscalar(wavelength_nm):
             return float(shift)
         return shift
 

@@ -7,18 +7,21 @@ splitting the operand vectors into chunks of ``cols`` elements, computing each
 chunk on one bank pair, and accumulating the per-bank photodetector outputs
 in the optical summation block.
 
-The signal-level :class:`VDPUnit` here is used by the detailed simulation and
-the device-level tests; the full-model inference path in
-:mod:`repro.accelerator` uses the functional weight-corruption equivalent for
-speed (see DESIGN.md).
+Since the array-core refactor the unit is a view over one
+:class:`~repro.photonics.bank_array.BankArrayPair` with ``banks = rows``: all
+chunks are imprinted and detected in a single vectorized pass instead of a
+per-row Python loop.  The signal-level :class:`VDPUnit` here is used by the
+detailed simulation and the device-level tests; the full-model inference path
+in :mod:`repro.accelerator` uses the functional weight-corruption equivalent
+for speed (see DESIGN.md).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.photonics.bank_array import BankArrayPair
 from repro.photonics.dac_adc import ADC, DAC
-from repro.photonics.mr_bank import MRBankPair
 from repro.photonics.waveguide import WDMGrid
 from repro.utils.validation import ValidationError, check_positive_int
 
@@ -53,7 +56,7 @@ class VDPUnit:
         self.dac = dac
         self.adc = adc
         grid = WDMGrid(num_channels=cols)
-        self.bank_pairs = [MRBankPair(cols, grid=grid, q_factor=q_factor) for _ in range(rows)]
+        self.pair = BankArrayPair(cols, banks=rows, grid=grid, q_factor=q_factor)
 
     @property
     def num_mrs(self) -> int:
@@ -86,18 +89,15 @@ class VDPUnit:
             inputs = np.clip(self.dac.convert(inputs), 0.0, 1.0)
             weights = np.clip(self.dac.convert(weights), 0.0, 1.0)
 
-        total = 0.0
-        for chunk_index in range(0, inputs.size, self.cols):
-            row = chunk_index // self.cols
-            chunk_inputs = inputs[chunk_index : chunk_index + self.cols]
-            chunk_weights = weights[chunk_index : chunk_index + self.cols]
-            padded_inputs = np.zeros(self.cols)
-            padded_weights = np.zeros(self.cols)
-            padded_inputs[: chunk_inputs.size] = chunk_inputs
-            padded_weights[: chunk_weights.size] = chunk_weights
-            pair = self.bank_pairs[row]
-            pair.program(padded_inputs, padded_weights)
-            total += pair.dot_product()
+        # Zero-pad into the (rows, cols) bank grid: unused lanes imprint 0 and
+        # contribute (at most the extinction floor) nothing to the sum.
+        padded_inputs = np.zeros((self.rows, self.cols))
+        padded_weights = np.zeros((self.rows, self.cols))
+        padded_inputs.ravel()[: inputs.size] = inputs
+        padded_weights.ravel()[: weights.size] = weights
+        used_rows = -(-inputs.size // self.cols)  # 0 rows for empty operands
+        self.pair.program(padded_inputs, padded_weights)
+        total = float(np.sum(self.pair.dot_products()[:used_rows]))
         if self.adc is not None:
             # Partial sums are normalized by the chunk length before the ADC so
             # they stay within the converter's full-scale range.
@@ -107,5 +107,4 @@ class VDPUnit:
 
     def clear_attacks(self) -> None:
         """Clear attacks from every bank pair."""
-        for pair in self.bank_pairs:
-            pair.clear_attacks()
+        self.pair.clear_attacks()

@@ -275,7 +275,41 @@ class TestCli:
         assert cli_main(argv) == 0
         assert json.loads(capsys.readouterr().out)["summary"]["cache_hits"] == 2
         assert cli_main(["report", "--cache-dir", str(tmp_path)]) == 0
-        assert "ablation_tuning" in capsys.readouterr().out
+        report_out = capsys.readouterr().out
+        assert "ablation_tuning" in report_out
+        assert "min_s" in report_out and "mean_s" in report_out and "max_s" in report_out
+
+    def test_cli_report_surfaces_run_timing(self, tmp_path, capsys):
+        argv = [
+            "sweep", "ablation_tuning",
+            "--grid", "shifts_nm=[0.2],[1.0],[2.0]",
+            "--serial", "--quiet", "--cache-dir", str(tmp_path),
+        ]
+        assert cli_main(argv) == 0
+        capsys.readouterr()
+        assert cli_main(["report", "--json", "--cache-dir", str(tmp_path)]) == 0
+        stats = json.loads(capsys.readouterr().out)["ablation_tuning"]
+        assert stats["records"] == 3
+        assert 0.0 <= stats["min_duration_s"] <= stats["mean_duration_s"]
+        assert stats["mean_duration_s"] <= stats["max_duration_s"]
+        assert stats["total_duration_s"] == pytest.approx(
+            3 * stats["mean_duration_s"]
+        )
+
+    def test_cli_bench_smoke(self, tmp_path, capsys):
+        """Tiny bench run: JSON record written with speedups and agreement."""
+        output = tmp_path / "bench.json"
+        argv = [
+            "bench", "--matvec-size", "6", "--mc-size", "6", "--trials", "8",
+            "--repeats", "1", "--output", str(output), "--json",
+        ]
+        assert cli_main(argv) == 0
+        results = json.loads(capsys.readouterr().out)
+        assert results["equivalent_within_tol"] is True
+        assert results["matvec"]["speedup_array_vs_seed"] > 0
+        assert results["monte_carlo"]["speedup_array_vs_seed"] > 0
+        on_disk = json.loads(output.read_text())
+        assert on_disk["benchmark"] == "signal_core"
 
     def test_python_dash_m_repro_entrypoint(self):
         """``python -m repro list`` works as a real subprocess."""

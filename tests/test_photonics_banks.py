@@ -128,3 +128,12 @@ class TestVDPUnit:
         a = rng.random(4)
         w = rng.random(4)
         assert unit.dot(a, w) == pytest.approx(float(a @ w), abs=0.1)
+
+    def test_empty_operands_give_exact_zero(self):
+        unit = VDPUnit(rows=2, cols=4)
+        assert unit.dot(np.array([]), np.array([])) == 0.0
+
+    def test_nan_operands_rejected(self):
+        unit = VDPUnit(rows=1, cols=4)
+        with pytest.raises(ValidationError):
+            unit.dot(np.array([0.1, np.nan, 0.3, 0.4]), np.full(4, 0.5))
