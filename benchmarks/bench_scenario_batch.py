@@ -1,0 +1,56 @@
+"""Benchmark: scenario-batched vs per-scenario attacked inference.
+
+Times quick Fig. 7 scenario grids through both evaluation paths of the
+attacked-inference engine (the per-scenario reference and the stacked
+ensemble-forward path in :mod:`repro.nn.ensemble`), checks that the batched
+accuracies match the per-scenario reference within 1e-9 for every scenario,
+and emits ``BENCH_scenario_batch.json``.
+
+Run directly (``python benchmarks/bench_scenario_batch.py [output.json]``) or
+via the CLI (``python -m repro bench --suite scenario``); a pytest-benchmark
+entry point is provided for the opt-in benchmark suite.  The acceptance floor
+is >=20x on the FC-column sweep (shared conv trunk across scenarios).
+"""
+
+from __future__ import annotations
+
+import sys
+
+DEFAULT_OUTPUT = "BENCH_scenario_batch.json"
+
+
+def test_scenario_batch_speedup(benchmark):
+    """Scenario-batch speedup over the per-scenario path (opt-in bench suite)."""
+    from repro.analysis.scenario_batch_bench import run_scenario_batch_bench
+
+    results = benchmark.pedantic(
+        lambda: run_scenario_batch_bench(output=DEFAULT_OUTPUT),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["fc_grid_speedup"] = results["fc_grid"][
+        "speedup_batched_vs_serial"
+    ]
+    benchmark.extra_info["mixed_grid_speedup"] = results["mixed_grid"][
+        "speedup_batched_vs_serial"
+    ]
+    assert results["equivalent_within_tol"]
+    assert results["fc_grid"]["speedup_batched_vs_serial"] >= 20.0
+    assert results["mixed_grid"]["speedup_batched_vs_serial"] >= 1.0
+
+
+def main(argv: list[str]) -> int:
+    from repro.analysis.scenario_batch_bench import (
+        format_scenario_bench_report,
+        run_scenario_batch_bench,
+    )
+
+    output = argv[0] if argv else DEFAULT_OUTPUT
+    results = run_scenario_batch_bench(output=output)
+    print(format_scenario_bench_report(results))
+    print(f"\nwrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

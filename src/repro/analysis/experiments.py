@@ -228,6 +228,70 @@ def _run_fig7_point(
     }
 
 
+def _run_fig7_grid(
+    model: str = "cnn_mnist",
+    kinds: tuple[str, ...] = ("actuation", "hotspot"),
+    blocks: tuple[str, ...] = ("both",),
+    fractions: tuple[float, ...] = (0.01, 0.05, 0.10),
+    num_placements: int = 3,
+    backend: str = "batched",
+    scenario_chunk: int = 0,
+    quantize_weights: bool = True,
+    seed: int = 0,
+) -> dict:
+    """A whole Fig. 7 scenario grid in stacked forward passes (sweepable).
+
+    Where :func:`_run_fig7_point` is the one-scenario sweep unit,
+    ``fig7_grid`` evaluates an entire (kinds x blocks x fractions x
+    placements) grid for one workload through
+    :meth:`AttackedInferenceEngine.accuracy_under_attacks`.
+    ``backend="serial"`` runs the same grid through the per-scenario
+    reference path (used by the equivalence benchmark); ``scenario_chunk=0``
+    selects the memory-aware automatic chunk.
+    """
+    import numpy as np
+
+    from repro.accelerator.config import AcceleratorConfig
+    from repro.attacks.hotspot import HotspotAttackConfig
+    from repro.attacks.scenario import generate_scenarios, sample_outcome
+
+    if backend not in ("batched", "serial"):
+        raise ValueError(f"backend must be 'batched' or 'serial', got {backend!r}")
+    engine, split, baseline = _prepared_fig7_workload(model, seed, quantize_weights)
+    scenarios = generate_scenarios(
+        kinds=tuple(kinds),
+        blocks=tuple(blocks),
+        fractions=tuple(fractions),
+        num_placements=num_placements,
+        master_seed=seed,
+    )
+    config = AcceleratorConfig.scaled_config()
+    hotspot = HotspotAttackConfig()
+    outcomes = [sample_outcome(scenario, config, hotspot) for scenario in scenarios]
+    if backend == "batched":
+        accuracies = engine.accuracy_under_attacks(
+            split.test, outcomes, scenario_chunk=scenario_chunk or None
+        )
+    else:
+        accuracies = np.array(
+            [engine.accuracy_under_attack(split.test, outcome) for outcome in outcomes]
+        )
+    values = np.asarray(accuracies, dtype=float)
+    return {
+        "model": model,
+        "backend": backend,
+        "num_scenarios": len(scenarios),
+        "baseline": baseline,
+        "accuracies": {
+            scenario.label(): float(accuracy)
+            for scenario, accuracy in zip(scenarios, values)
+        },
+        "mean": float(values.mean()),
+        "min": float(values.min()),
+        "worst_case_drop": float(baseline - values.min()),
+    }
+
+
 def _run_fig8(
     model_names: tuple[str, ...] = ("cnn_mnist",),
     seed: int = 0,
@@ -300,13 +364,10 @@ def _run_fig8_variant(
     )
     engine = AttackedInferenceEngine(trained.model, config=accelerator)
     hotspot = HotspotAttackConfig()
-    accuracies = [
-        engine.accuracy_under_attack(
-            split.test, sample_outcome(scenario, accelerator, hotspot)
-        )
-        for scenario in scenarios
-    ]
-    values = np.asarray(accuracies, dtype=float)
+    outcomes = [sample_outcome(scenario, accelerator, hotspot) for scenario in scenarios]
+    values = np.asarray(
+        engine.accuracy_under_attacks(split.test, outcomes), dtype=float
+    )
     return {
         "model": model,
         "variant": variant,
@@ -483,6 +544,29 @@ EXPERIMENTS: dict[str, ExperimentDescriptor] = {
             block="both",
             fraction=0.05,
             placement=0,
+            quantize_weights=True,
+            seed=0,
+        ),
+    ),
+    "fig7_grid": ExperimentDescriptor(
+        experiment_id="fig7_grid",
+        title="A full Fig. 7 scenario grid via stacked attacked inference (sweepable)",
+        paper_reference="Fig. 7(a)-(c)",
+        modules=(
+            "repro.accelerator.inference",
+            "repro.attacks.injection",
+            "repro.nn.ensemble",
+        ),
+        bench_target="benchmarks/bench_scenario_batch.py",
+        runner=_run_fig7_grid,
+        default_params=_params(
+            model="cnn_mnist",
+            kinds=("actuation", "hotspot"),
+            blocks=("both",),
+            fractions=(0.01, 0.05, 0.10),
+            num_placements=3,
+            backend="batched",
+            scenario_chunk=0,
             quantize_weights=True,
             seed=0,
         ),

@@ -1,0 +1,175 @@
+"""Scenario-batched vs per-scenario attacked-inference benchmark.
+
+Times the two attack-evaluation paths of
+:class:`~repro.accelerator.inference.AttackedInferenceEngine` on quick Fig. 7
+scenario grids:
+
+* ``fc_grid`` — the Fig. 7 FC-block column (kinds x fractions x placements on
+  the FC block).  These scenarios leave the CONV block clean, so the batched
+  path computes the convolutional trunk **once per chunk** and only replicates
+  the (cheap) FC layers per scenario — the structural sharing that gives the
+  scenario-batch subsystem its headline speedup.
+* ``mixed_grid`` — the full paper grid (CONV / FC / CONV+FC targets).
+  CONV-corrupting scenarios diverge at the first layer, so their work is
+  irreducibly per-scenario; the batched path still wins by folding scenarios
+  into cache-sized stacked passes.
+
+Each section records best-of-``repeats`` wall times, the speedup, and the
+maximum per-scenario disagreement between the batched accuracies and the
+per-scenario reference (the paths must agree within 1e-9 — in practice they
+are bit-identical).  :func:`run_scenario_batch_bench` returns the result
+dictionary and optionally writes it as JSON (``BENCH_scenario_batch.json``),
+which the CI workflow records as a non-gating perf-trajectory artefact while
+failing loudly if the equivalence check is violated.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+from time import perf_counter
+from typing import Sequence
+
+import numpy as np
+
+from repro.version import __version__
+
+__all__ = ["run_scenario_batch_bench", "format_scenario_bench_report"]
+
+#: Disagreement bound between the batched and per-scenario accuracies.
+EQUIVALENCE_TOL = 1e-9
+
+
+def _bench_grid(
+    engine,
+    dataset,
+    blocks: Sequence[str],
+    kinds: Sequence[str],
+    fractions: Sequence[float],
+    num_placements: int,
+    repeats: int,
+    seed: int,
+) -> dict:
+    """Time one scenario grid through both paths and compare accuracies."""
+    from repro.attacks.hotspot import HotspotAttackConfig
+    from repro.attacks.scenario import generate_scenarios, sample_outcome
+
+    scenarios = generate_scenarios(
+        kinds=tuple(kinds),
+        blocks=tuple(blocks),
+        fractions=tuple(fractions),
+        num_placements=num_placements,
+        master_seed=seed,
+    )
+    hotspot = HotspotAttackConfig()
+    outcomes = [sample_outcome(s, engine.config, hotspot) for s in scenarios]
+
+    engine.accuracy_under_attacks(dataset, outcomes[:2])  # warm the stacked path
+    serial_s = float("inf")
+    batched_s = float("inf")
+    serial = batched = None
+    for _ in range(max(repeats, 1)):
+        start = perf_counter()
+        serial = np.array(
+            [engine.accuracy_under_attack(dataset, outcome) for outcome in outcomes]
+        )
+        serial_s = min(serial_s, perf_counter() - start)
+        start = perf_counter()
+        batched = engine.accuracy_under_attacks(dataset, outcomes)
+        batched_s = min(batched_s, perf_counter() - start)
+    return {
+        "blocks": list(blocks),
+        "num_scenarios": len(scenarios),
+        "num_placements": num_placements,
+        "serial_s": serial_s,
+        "batched_s": batched_s,
+        "speedup_batched_vs_serial": serial_s / batched_s,
+        "max_abs_accuracy_diff": float(np.max(np.abs(serial - batched))),
+        "mean_attacked_accuracy": float(np.mean(batched)),
+    }
+
+
+def run_scenario_batch_bench(
+    model: str = "cnn_mnist",
+    kinds: Sequence[str] = ("actuation", "hotspot"),
+    fractions: Sequence[float] = (0.01, 0.05, 0.10),
+    fc_placements: int = 10,
+    mixed_placements: int = 3,
+    repeats: int = 1,
+    seed: int = 0,
+    output: str | Path | None = None,
+) -> dict:
+    """Run both grid sections and optionally write the JSON record.
+
+    The headline ``speedup_batched_vs_serial`` is the FC-column sweep, where
+    the scenario-sharing structure applies; the mixed grid documents the
+    speedup on the full paper grid alongside it.
+    """
+    from repro.accelerator.inference import AttackedInferenceEngine
+    from repro.analysis.susceptibility import SusceptibilityConfig, SusceptibilityStudy
+
+    config = SusceptibilityConfig(model_names=(model,), seed=seed)
+    trained, split = SusceptibilityStudy(config).prepare_workload(model)
+    engine = AttackedInferenceEngine(trained, config=config.accelerator)
+
+    fc_grid = _bench_grid(
+        engine, split.test, ("fc",), kinds, fractions, fc_placements, repeats, seed
+    )
+    mixed_grid = _bench_grid(
+        engine,
+        split.test,
+        ("conv", "fc", "both"),
+        kinds,
+        fractions,
+        mixed_placements,
+        repeats,
+        seed,
+    )
+    results = {
+        "benchmark": "scenario_batch",
+        "version": __version__,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "model": model,
+        "test_samples": len(split.test),
+        "baseline_accuracy": engine.clean_accuracy(split.test),
+        "fc_grid": fc_grid,
+        "mixed_grid": mixed_grid,
+        "speedup_batched_vs_serial": fc_grid["speedup_batched_vs_serial"],
+        "equivalent_within_tol": bool(
+            fc_grid["max_abs_accuracy_diff"] <= EQUIVALENCE_TOL
+            and mixed_grid["max_abs_accuracy_diff"] <= EQUIVALENCE_TOL
+        ),
+    }
+    if output is not None:
+        Path(output).write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    return results
+
+
+def format_scenario_bench_report(results: dict) -> str:
+    """Human-readable summary of a :func:`run_scenario_batch_bench` result."""
+    lines = [
+        f"scenario-batch benchmark (repro {results['version']}, "
+        f"python {results['python']}, numpy {results['numpy']})",
+        f"workload: {results['model']}, {results['test_samples']} test samples, "
+        f"baseline accuracy {results['baseline_accuracy']:.3f}",
+    ]
+    for key, title in (
+        ("fc_grid", "FC-block column (shared conv trunk)"),
+        ("mixed_grid", "full CONV/FC/CONV+FC grid"),
+    ):
+        section = results[key]
+        lines += [
+            "",
+            f"{title}: {section['num_scenarios']} scenarios",
+            f"  per-scenario path     {section['serial_s'] * 1e3:9.2f} ms",
+            f"  scenario-batched      {section['batched_s'] * 1e3:9.2f} ms"
+            f"   ({section['speedup_batched_vs_serial']:.1f}x)",
+            f"  max |accuracy diff|   {section['max_abs_accuracy_diff']:.2e}",
+        ]
+    lines += [
+        "",
+        f"paths agree within {EQUIVALENCE_TOL:g}: {results['equivalent_within_tol']}",
+    ]
+    return "\n".join(lines)

@@ -76,6 +76,14 @@ class SusceptibilityConfig:
         Apply DAC-resolution quantization when mapping weights.
     test_fraction:
         Fraction of each synthetic dataset held out for accuracy measurement.
+    scenario_batch:
+        Evaluate all placed scenarios of a workload through the stacked
+        ensemble forward (:meth:`AttackedInferenceEngine.accuracy_under_attacks`)
+        instead of one full test-set pass per scenario.  The per-scenario
+        path remains available as the reference the batch path is
+        property-tested against.
+    scenario_chunk:
+        Scenarios per stacked forward pass (``None``: memory-aware auto).
     """
 
     model_names: Sequence[str] = ("cnn_mnist", "resnet18", "vgg16_variant")
@@ -88,6 +96,8 @@ class SusceptibilityConfig:
     hotspot: HotspotAttackConfig = field(default_factory=HotspotAttackConfig)
     quantize_weights: bool = True
     test_fraction: float = 0.25
+    scenario_batch: bool = True
+    scenario_chunk: int | None = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.num_placements, "num_placements")
@@ -210,30 +220,49 @@ class SusceptibilityStudy:
                 model,
                 config=self.config.accelerator,
                 quantize_weights=self.config.quantize_weights,
+                scenario_chunk=self.config.scenario_chunk,
             )
             result.baselines[model_name] = engine.clean_accuracy(split.test)
-            for scenario in scenarios:
-                record = self._evaluate_scenario(model_name, engine, split, scenario)
-                result.scenarios.append(record)
+            result.scenarios.extend(
+                self._evaluate_scenarios(model_name, engine, split, scenarios)
+            )
         return result
 
-    def _evaluate_scenario(
+    def _evaluate_scenarios(
         self,
         model_name: str,
         engine: AttackedInferenceEngine,
         split: DatasetSplit,
-        scenario: AttackScenario,
-    ) -> ScenarioAccuracy:
-        """Evaluate one placed attack scenario."""
-        outcome = sample_outcome(scenario, self.config.accelerator, self.config.hotspot)
-        accuracy = engine.accuracy_under_attack(split.test, outcome)
-        corrupted = engine.weight_corruption_fraction(outcome)
-        return ScenarioAccuracy(
-            model=model_name,
-            kind=scenario.spec.kind,
-            block=scenario.spec.target_block,
-            fraction=scenario.spec.fraction,
-            placement=scenario.placement,
-            accuracy=accuracy,
-            corrupted_fraction=corrupted,
-        )
+        scenarios: Sequence[AttackScenario],
+    ) -> list[ScenarioAccuracy]:
+        """Evaluate every placed scenario of one workload.
+
+        The default scenario-batch backend samples all outcomes up front and
+        runs them through stacked ensemble forwards; the per-scenario
+        fallback (``scenario_batch=False``) evaluates them one by one via the
+        reference path.
+        """
+        outcomes = [
+            sample_outcome(scenario, self.config.accelerator, self.config.hotspot)
+            for scenario in scenarios
+        ]
+        if self.config.scenario_batch:
+            accuracies = engine.accuracy_under_attacks(split.test, outcomes)
+            corrupted = engine.weight_corruption_fractions(outcomes)
+        else:
+            accuracies = [
+                engine.accuracy_under_attack(split.test, outcome) for outcome in outcomes
+            ]
+            corrupted = [engine.weight_corruption_fraction(outcome) for outcome in outcomes]
+        return [
+            ScenarioAccuracy(
+                model=model_name,
+                kind=scenario.spec.kind,
+                block=scenario.spec.target_block,
+                fraction=scenario.spec.fraction,
+                placement=scenario.placement,
+                accuracy=float(accuracy),
+                corrupted_fraction=float(fraction),
+            )
+            for scenario, accuracy, fraction in zip(scenarios, accuracies, corrupted)
+        ]

@@ -21,7 +21,7 @@ from repro.attacks.trojan import HardwareTrojan, TriggerMode
 from repro.attacks.actuation import ActuationAttack
 from repro.attacks.hotspot import HotspotAttack, HotspotAttackConfig
 from repro.attacks.scenario import AttackScenario, generate_scenarios, sample_outcome
-from repro.attacks.injection import attack_context, corrupted_state_dict
+from repro.attacks.injection import attack_context, corrupted_state_batch, corrupted_state_dict
 
 __all__ = [
     "AttackSpec",
@@ -38,4 +38,5 @@ __all__ = [
     "sample_outcome",
     "attack_context",
     "corrupted_state_dict",
+    "corrupted_state_batch",
 ]

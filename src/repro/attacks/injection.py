@@ -25,11 +25,21 @@ couples a fraction of its carrier — equal to the normalized weight magnitude
 Injection operates on the weight-stationary mapping: a compromised MR corrupts
 the weight it hosts in *every* mapping round, which is how a fixed number of
 trojans damages large multi-round models disproportionately.
+
+Two entry points share the same vectorized kernels:
+
+* :func:`corrupted_state_dict` — one outcome → one full state dict (the
+  reference per-scenario path).
+* :func:`corrupted_state_batch` — ``S`` outcomes → one ``(S, …)`` stacked
+  array per *mapped* parameter, computed with a single broadcast pass per
+  tensor instead of ``S`` sequential state-dict rebuilds.  The stacked
+  arrays feed the ensemble-weight forward path in :mod:`repro.nn.ensemble`.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
+from typing import Sequence
 
 import numpy as np
 
@@ -38,9 +48,11 @@ from repro.attacks.base import AttackOutcome
 from repro.nn.module import Module
 from repro.photonics import constants
 from repro.photonics.thermal_sensitivity import ThermalSensitivity
+from repro.utils.validation import ValidationError
 
 __all__ = [
     "corrupted_state_dict",
+    "corrupted_state_batch",
     "attack_context",
     "OFF_RESONANCE_MAGNITUDE",
     "DEFAULT_TUNING_COMPENSATION_K",
@@ -62,13 +74,17 @@ def corrupted_state_dict(
     outcome: AttackOutcome,
     sensitivity: ThermalSensitivity | None = None,
     tuning_compensation_k: float = DEFAULT_TUNING_COMPENSATION_K,
+    state: dict[str, np.ndarray] | None = None,
 ) -> dict[str, np.ndarray]:
     """Return a full state dict with the attack applied to the mapped weights.
 
-    Unmapped parameters (biases, batch-norm) are returned unchanged.
+    Unmapped parameters (biases, batch-norm) are returned unchanged.  When a
+    clean ``state`` snapshot is supplied it is used as the base instead of
+    re-copying ``model.state_dict()``; the returned dict is a fresh mapping
+    but its unmapped entries share storage with ``state``.
     """
     sensitivity = sensitivity or ThermalSensitivity()
-    state = model.state_dict()
+    state = model.state_dict() if state is None else dict(state)
     for mapped in mapping.parameters:
         original = state[mapped.name]
         corrupted = _corrupt_tensor(
@@ -78,6 +94,40 @@ def corrupted_state_dict(
     return state
 
 
+def corrupted_state_batch(
+    model: Module,
+    mapping: WeightMapping,
+    outcomes: Sequence[AttackOutcome],
+    sensitivity: ThermalSensitivity | None = None,
+    tuning_compensation_k: float = DEFAULT_TUNING_COMPENSATION_K,
+    state: dict[str, np.ndarray] | None = None,
+) -> dict[str, np.ndarray]:
+    """Stacked corruption of ``S`` attack outcomes in one broadcast pass.
+
+    Returns ``{name: array of shape (S, *param.shape)}`` for every *mapped*
+    parameter; unmapped parameters (biases, batch-norm) are never corrupted
+    and are simply absent from the result.  Row ``s`` of every stacked array
+    is bit-identical to what :func:`corrupted_state_dict` produces for
+    ``outcomes[s]`` — the per-scenario path is the reference this kernel is
+    property-tested against.
+    """
+    outcomes = list(outcomes)
+    if not outcomes:
+        raise ValidationError("corrupted_state_batch requires at least one outcome")
+    sensitivity = sensitivity or ThermalSensitivity()
+    state = model.state_dict() if state is None else state
+    tables = {
+        block: _BlockAttackTables(block, mapping, outcomes, tuning_compensation_k)
+        for block in {mapped.kind for mapped in mapping.parameters}
+    }
+    return {
+        mapped.name: _corrupt_tensor_batch(
+            state[mapped.name], mapped, mapping, tables[mapped.kind], sensitivity
+        )
+        for mapped in mapping.parameters
+    }
+
+
 @contextmanager
 def attack_context(
     model: Module,
@@ -85,6 +135,7 @@ def attack_context(
     outcome: AttackOutcome,
     sensitivity: ThermalSensitivity | None = None,
     tuning_compensation_k: float = DEFAULT_TUNING_COMPENSATION_K,
+    clean_state: dict[str, np.ndarray] | None = None,
 ):
     """Temporarily load the corrupted weights into ``model``.
 
@@ -93,11 +144,18 @@ def attack_context(
         with attack_context(model, mapping, outcome):
             accuracy = evaluate_accuracy(model, test_set)
         # weights restored here
+
+    ``clean_state`` lets long-lived callers (the inference engine) snapshot
+    the clean weights once instead of re-copying the full state dict on every
+    entry; ``load_state_dict`` copies values on load, so the snapshot itself
+    is never mutated.
     """
-    clean = model.state_dict()
+    clean = model.state_dict() if clean_state is None else clean_state
     try:
         model.load_state_dict(
-            corrupted_state_dict(model, mapping, outcome, sensitivity, tuning_compensation_k)
+            corrupted_state_dict(
+                model, mapping, outcome, sensitivity, tuning_compensation_k, state=clean
+            )
         )
         yield model
     finally:
@@ -133,46 +191,137 @@ def _corrupt_tensor(
     if bank_delta_t:
         banks = slots // geometry.cols
         cols = slots % geometry.cols
+        delta_t_per_bank = _effective_bank_delta_t(
+            bank_delta_t,
+            set(outcome.attacked_banks.get(block, ())),
+            geometry.num_banks,
+            tuning_compensation_k,
+        )
         magnitudes = _apply_hotspot(
             magnitudes,
             banks,
             cols,
-            bank_delta_t,
-            set(outcome.attacked_banks.get(block, ())),
-            geometry.num_banks,
+            delta_t_per_bank,
             mapping.config.channel_spacing_nm,
             constants.C_BAND_CENTER_NM / mapping.config.q_factor,
             sensitivity,
-            tuning_compensation_k,
         )
     corrupted = mapping.denormalize(mapped, magnitudes, signs)
     return corrupted.reshape(mapped.shape).astype(np.float32)
 
 
-def _apply_hotspot(
-    magnitudes: np.ndarray,
-    banks: np.ndarray,
-    cols: np.ndarray,
+class _BlockAttackTables:
+    """Per-block scenario tables shared by every mapped tensor of the block.
+
+    Building the actuation slot table and the effective per-bank temperature
+    rises once per (block, outcome batch) means each mapped tensor only pays
+    for two cheap gathers instead of re-deriving the attack layout.
+    """
+
+    #: Above this many (scenario x slot) cells the dense actuation lookup
+    #: table is not worth its memory; fall back to per-scenario ``np.isin``.
+    MAX_TABLE_CELLS = 2**26
+
+    def __init__(
+        self,
+        block: str,
+        mapping: WeightMapping,
+        outcomes: list[AttackOutcome],
+        tuning_compensation_k: float,
+    ):
+        geometry = mapping.block_geometry(block)
+        num_scenarios = len(outcomes)
+
+        self.actuation_slots = [outcome.actuation_slots.get(block) for outcome in outcomes]
+        self.slot_table: np.ndarray | None = None
+        if any(slots is not None and len(slots) for slots in self.actuation_slots):
+            if num_scenarios * geometry.capacity <= self.MAX_TABLE_CELLS:
+                self.slot_table = np.zeros((num_scenarios, geometry.capacity), dtype=bool)
+                for index, slots in enumerate(self.actuation_slots):
+                    if slots is not None and len(slots):
+                        # Out-of-range slots never match any weight in the
+                        # serial ``np.isin`` path; drop them here too so both
+                        # paths stay identical on malformed outcomes.
+                        slots = np.asarray(slots)
+                        slots = slots[(slots >= 0) & (slots < geometry.capacity)]
+                        self.slot_table[index, slots] = True
+
+        self.delta_t_per_bank: np.ndarray | None = None
+        for index, outcome in enumerate(outcomes):
+            bank_delta_t = outcome.bank_delta_t.get(block)
+            if bank_delta_t:
+                if self.delta_t_per_bank is None:
+                    self.delta_t_per_bank = np.zeros((num_scenarios, geometry.num_banks))
+                self.delta_t_per_bank[index] = _effective_bank_delta_t(
+                    bank_delta_t,
+                    set(outcome.attacked_banks.get(block, ())),
+                    geometry.num_banks,
+                    tuning_compensation_k,
+                )
+
+    def actuation_hits(self, slots: np.ndarray) -> np.ndarray | None:
+        """Boolean ``(S, W)`` mask of actuated weights (None: no actuation)."""
+        if self.slot_table is not None:
+            return self.slot_table[:, slots]
+        if not any(s is not None and len(s) for s in self.actuation_slots):
+            return None
+        hits = np.zeros((len(self.actuation_slots), slots.size), dtype=bool)
+        for index, attacked in enumerate(self.actuation_slots):
+            if attacked is not None and len(attacked):
+                hits[index] = np.isin(slots, attacked)
+        return hits
+
+
+def _corrupt_tensor_batch(
+    values: np.ndarray,
+    mapped: MappedParameter,
+    mapping: WeightMapping,
+    tables: _BlockAttackTables,
+    sensitivity: ThermalSensitivity,
+) -> np.ndarray:
+    """Apply ``S`` attack outcomes to one mapped tensor as a ``(S, W)`` pass.
+
+    Runs the exact operation sequence of :func:`_corrupt_tensor` with a
+    leading scenario axis: actuation hits are one masked write, then a single
+    broadcast :func:`_apply_hotspot` handles every thermal scenario at once.
+    """
+    num_scenarios = len(tables.actuation_slots)
+    block = mapped.kind
+    flat = np.asarray(values, dtype=np.float32).reshape(-1)
+    signs = np.sign(flat)
+    signs[signs == 0] = 1.0
+    base = mapping.normalize(mapped, flat)
+    geometry = mapping.block_geometry(block)
+    slots = mapping.slots_for(mapped)
+    magnitudes = np.broadcast_to(base, (num_scenarios, base.size)).copy()
+
+    hits = tables.actuation_hits(slots)
+    if hits is not None:
+        magnitudes[hits] = OFF_RESONANCE_MAGNITUDE
+
+    if tables.delta_t_per_bank is not None:
+        banks = slots // geometry.cols
+        cols = slots % geometry.cols
+        magnitudes = _apply_hotspot(
+            magnitudes,
+            banks,
+            cols,
+            tables.delta_t_per_bank,
+            mapping.config.channel_spacing_nm,
+            constants.C_BAND_CENTER_NM / mapping.config.q_factor,
+            sensitivity,
+        )
+    corrupted = mapping.denormalize(mapped, magnitudes, signs)
+    return corrupted.reshape((num_scenarios, *mapped.shape)).astype(np.float32)
+
+
+def _effective_bank_delta_t(
     bank_delta_t: dict[int, float],
     directly_attacked: set[int],
     num_banks: int,
-    spacing_nm: float,
-    linewidth_nm: float,
-    sensitivity: ThermalSensitivity,
     tuning_compensation_k: float,
 ) -> np.ndarray:
-    """Vectorized hotspot corruption of one flattened weight tensor.
-
-    Each affected bank's temperature rise is converted into a resonance shift
-    (Eq. 2).  Non-attacked banks first subtract the rise their own tuning
-    loops can absorb.  The whole-channel part of the shift re-pairs every
-    ring in the bank with the carrier ``k`` positions later — because the
-    weight-stationary layout assigns consecutive columns to consecutive flat
-    indices, carrier ``j``'s magnitude comes from flat index ``i - k`` when
-    the source column stays inside the bank, and collapses to ≈0 otherwise.
-    The sub-channel residual shift scales the coupled magnitude down
-    following the Lorentzian drop-port response.
-    """
+    """Per-bank effective temperature rise after tuning-loop compensation."""
     delta_t_per_bank = np.zeros(num_banks)
     for bank_index, delta_t in bank_delta_t.items():
         if not 0 <= bank_index < num_banks:
@@ -181,29 +330,73 @@ def _apply_hotspot(
         if bank_index not in directly_attacked:
             effective = max(0.0, effective - tuning_compensation_k)
         delta_t_per_bank[bank_index] = effective
-    delta_t = delta_t_per_bank[banks]
-    affected = delta_t > 0
-    if not np.any(affected):
+    return delta_t_per_bank
+
+
+def _apply_hotspot(
+    magnitudes: np.ndarray,
+    banks: np.ndarray,
+    cols: np.ndarray,
+    delta_t_per_bank: np.ndarray,
+    spacing_nm: float,
+    linewidth_nm: float,
+    sensitivity: ThermalSensitivity,
+) -> np.ndarray:
+    """Vectorized hotspot corruption of flattened weight magnitudes.
+
+    ``magnitudes`` is ``(W,)`` for the per-scenario path or ``(S, W)`` for the
+    scenario batch; ``delta_t_per_bank`` has the matching ``(num_banks,)`` or
+    ``(S, num_banks)`` shape.  Each affected bank's temperature rise is
+    converted into a resonance shift (Eq. 2).  The whole-channel part of the
+    shift re-pairs every ring in the bank with the carrier ``k`` positions
+    later — because the weight-stationary layout assigns consecutive columns
+    to consecutive flat indices, carrier ``j``'s magnitude comes from flat
+    index ``i - k`` when the source column stays inside the bank, and
+    collapses to ≈0 otherwise.  The sub-channel residual shift scales the
+    coupled magnitude down following the Lorentzian drop-port response.
+    """
+    shift_per_kelvin = float(sensitivity.shift_per_kelvin(constants.C_BAND_CENTER_NM))
+    if shift_per_kelvin < 0:
+        # The re-pairing mask below (``cols >= channel_shift``) encodes the
+        # red-shift direction of silicon's positive dn/dT; a blue shift would
+        # silently re-pair rings with *earlier* carriers using a wrong mask.
+        raise ValidationError(
+            "negative thermally induced resonance shift "
+            f"({shift_per_kelvin:.3e} nm/K): the hotspot re-pairing model "
+            "assumes red shifts (positive dn/dT); negative thermo-optic "
+            "materials are not supported by the injection kernel"
+        )
+    stacked_input = magnitudes.ndim == 2
+    magnitudes_2d = np.atleast_2d(magnitudes)
+    hot_banks = np.atleast_2d(delta_t_per_bank) > 0
+    if not np.any(hot_banks):
         return magnitudes
 
-    shift_nm = sensitivity.shift_per_kelvin(constants.C_BAND_CENTER_NM) * delta_t
+    # Hotspots only touch a small fraction of the (scenario, weight) grid, so
+    # the shift/re-pair/Lorentzian math runs on the affected entries alone —
+    # identical elementwise operations, a fraction of the memory traffic.
+    hot_rows = np.flatnonzero(hot_banks.any(axis=1))
+    sub_rows, flat_index = np.nonzero(hot_banks[hot_rows][:, banks])
+    rows = hot_rows[sub_rows]
+    delta_t = np.atleast_2d(delta_t_per_bank)[rows, banks[flat_index]]
+    shift_nm = shift_per_kelvin * delta_t
     channel_shift = np.floor(shift_nm / spacing_nm + 0.5).astype(np.int64)
     residual_nm = shift_nm - channel_shift * spacing_nm
 
-    indices = np.arange(magnitudes.size)
-    source_indices = indices - channel_shift
+    size = magnitudes_2d.shape[1]
+    source_indices = flat_index - channel_shift
     valid_source = (
-        (cols >= channel_shift) & (source_indices >= 0) & (source_indices < magnitudes.size)
+        (cols[flat_index] >= channel_shift) & (source_indices >= 0) & (source_indices < size)
     )
     shifted = np.where(
         valid_source,
-        magnitudes[np.clip(source_indices, 0, magnitudes.size - 1)],
+        magnitudes_2d[rows, np.clip(source_indices, 0, size - 1)],
         OFF_RESONANCE_MAGNITUDE,
     )
     # Partial detuning reduces how much of the (possibly re-paired) magnitude
-    # is actually coupled to the detector.
+    # is actually coupled to the detector.  The scatter below writes into the
+    # caller-private magnitude buffer after every re-paired source magnitude
+    # has been gathered, so in-place mutation is safe.
     lorentz = 1.0 / (1.0 + (2.0 * residual_nm / linewidth_nm) ** 2)
-    attacked_values = shifted * lorentz
-    result = magnitudes.copy()
-    result[affected] = attacked_values[affected]
-    return result
+    magnitudes_2d[rows, flat_index] = shifted * lorentz
+    return magnitudes if stacked_input else magnitudes_2d[0]

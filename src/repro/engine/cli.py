@@ -13,8 +13,10 @@ Subcommands
     Summarize the records accumulated in the result cache, including
     min/mean/max per-run wall time per experiment.
 ``bench``
-    Run the signal-core benchmark (seed object path vs vectorized
-    array-core) and emit ``BENCH_signal_core.json``.
+    Run the benchmark suites: ``--suite signal`` (seed object path vs
+    vectorized array-core, ``BENCH_signal_core.json``), ``--suite scenario``
+    (per-scenario vs scenario-batched attacked inference,
+    ``BENCH_scenario_batch.json``) or ``--suite all``.
 
 Parameter values are parsed as JSON when possible (``0.05`` → float,
 ``true`` → bool, ``[1,2]`` → list) and fall back to plain strings, so
@@ -168,24 +170,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     bench = sub.add_parser(
-        "bench", help="benchmark the signal array-core against the seed object path"
+        "bench", help="run the performance benchmark suites"
     )
     bench.add_argument(
-        "--matvec-size", type=int, default=64, help="matrix-vector operand size"
+        "--suite", choices=("signal", "scenario", "all"), default="signal",
+        help="signal: array-core vs seed object path; scenario: batched vs "
+             "per-scenario attacked inference (default: signal)",
     )
     bench.add_argument(
-        "--mc-size", type=int, default=64, help="Monte-Carlo bank size (rings)"
+        "--matvec-size", type=int, default=64, help="[signal] matrix-vector operand size"
     )
     bench.add_argument(
-        "--trials", type=int, default=1000, help="Monte-Carlo attack trials"
+        "--mc-size", type=int, default=64, help="[signal] Monte-Carlo bank size (rings)"
     )
     bench.add_argument(
-        "--repeats", type=int, default=3, help="timing repeats (best-of)"
+        "--trials", type=int, default=1000, help="[signal] Monte-Carlo attack trials"
+    )
+    bench.add_argument(
+        "--bench-model", default="cnn_mnist", help="[scenario] workload model"
+    )
+    bench.add_argument(
+        "--fc-placements", type=int, default=10,
+        help="[scenario] placements per FC-column grid point",
+    )
+    bench.add_argument(
+        "--mixed-placements", type=int, default=3,
+        help="[scenario] placements per mixed-grid point",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=None,
+        help="timing repeats, best-of (default: 3 signal, 1 scenario)",
     )
     bench.add_argument("--seed", type=int, default=0, help="operand/attack seed")
     bench.add_argument(
-        "--output", default="BENCH_signal_core.json",
-        help="JSON output path ('-' to skip writing)",
+        "--output", default=None,
+        help="JSON output path ('-' to skip writing; default: the suite's "
+             "BENCH_*.json; ignored for --suite all)",
     )
     bench.add_argument("--json", action="store_true", help="print the results as JSON")
     return parser
@@ -338,24 +358,62 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.analysis.signal_bench import format_bench_report, run_signal_core_bench
+    suites = ("signal", "scenario") if args.suite == "all" else (args.suite,)
+    payloads: dict[str, dict] = {}
+    reports: list[str] = []
+    for suite in suites:
+        if args.suite == "all":
+            output = _default_bench_output(suite)
+        elif args.output == "-":
+            output = None
+        else:
+            output = args.output or _default_bench_output(suite)
+        if suite == "signal":
+            from repro.analysis.signal_bench import (
+                format_bench_report,
+                run_signal_core_bench,
+            )
 
-    output = None if args.output == "-" else args.output
-    results = run_signal_core_bench(
-        matvec_size=args.matvec_size,
-        mc_size=args.mc_size,
-        mc_trials=args.trials,
-        repeats=args.repeats,
-        seed=args.seed,
-        output=output,
-    )
-    if args.json:
-        print(json.dumps(results, indent=2, sort_keys=True))
-    else:
-        print(format_bench_report(results))
+            results = run_signal_core_bench(
+                matvec_size=args.matvec_size,
+                mc_size=args.mc_size,
+                mc_trials=args.trials,
+                repeats=args.repeats if args.repeats is not None else 3,
+                seed=args.seed,
+                output=output,
+            )
+            report = format_bench_report(results)
+        else:
+            from repro.analysis.scenario_batch_bench import (
+                format_scenario_bench_report,
+                run_scenario_batch_bench,
+            )
+
+            results = run_scenario_batch_bench(
+                model=args.bench_model,
+                fc_placements=args.fc_placements,
+                mixed_placements=args.mixed_placements,
+                repeats=args.repeats if args.repeats is not None else 1,
+                seed=args.seed,
+                output=output,
+            )
+            report = format_scenario_bench_report(results)
+        payloads[suite] = results
         if output is not None:
-            print(f"\nwrote {output}")
+            report += f"\n\nwrote {output}"
+        reports.append(report)
+    if args.json:
+        print(json.dumps(
+            payloads if len(payloads) > 1 else payloads[suites[0]],
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print("\n\n".join(reports))
     return 0
+
+
+def _default_bench_output(suite: str) -> str:
+    return "BENCH_signal_core.json" if suite == "signal" else "BENCH_scenario_batch.json"
 
 
 def main(argv: Sequence[str] | None = None) -> int:

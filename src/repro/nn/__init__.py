@@ -36,6 +36,7 @@ from repro.nn.layers import (
 from repro.nn.losses import CrossEntropyLoss, l2_penalty
 from repro.nn.optim import SGD, Adam
 from repro.nn.training import Trainer, TrainingConfig, TrainingHistory, evaluate_accuracy
+from repro.nn.ensemble import num_scenarios, stacked_state
 from repro.nn import functional
 from repro.nn import models
 
@@ -64,6 +65,8 @@ __all__ = [
     "TrainingConfig",
     "TrainingHistory",
     "evaluate_accuracy",
+    "stacked_state",
+    "num_scenarios",
     "functional",
     "models",
 ]

@@ -38,6 +38,22 @@ class BatchNorm2D(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float32)
+        if x.ndim == 5:
+            # Scenario-stacked ensemble input: inference statistics are fixed,
+            # so each scenario normalizes independently by folding the
+            # scenario axis into the batch axis.  Training statistics would
+            # mix scenarios, which has no physical counterpart — reject it.
+            if self.training:
+                raise RuntimeError(
+                    "BatchNorm2D cannot train on scenario-stacked (5-D) inputs; "
+                    "ensemble forwards are inference-only"
+                )
+            from repro.nn.ensemble import fold_scenarios, unfold_scenarios
+
+            folded, lead = fold_scenarios(x)
+            out = self.forward(folded)
+            self._cache = None
+            return unfold_scenarios(out, lead)
         if x.ndim != 4 or x.shape[1] != self.num_features:
             raise ValueError(
                 f"BatchNorm2D expects (N, {self.num_features}, H, W), got {x.shape}"

@@ -66,6 +66,8 @@ class Conv2D(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float32)
+        if x.ndim == 5 or self.weight.stacked is not None:
+            return self._forward_ensemble(x)
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise ValueError(
                 f"Conv2D expects input (N, {self.in_channels}, H, W), got {x.shape}"
@@ -80,6 +82,54 @@ class Conv2D(Module):
         out = out.reshape(batch, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
         self._cache = (cols, x.shape, out_h, out_w)
         return out
+
+    def _forward_ensemble(self, x: np.ndarray) -> np.ndarray:
+        """Scenario-stacked forward over ``(S?, N, C, H, W)`` inputs.
+
+        While the activations are still shared across scenarios (a 4-D input,
+        or a 5-D input with a singleton scenario axis), im2col runs **once**
+        per input batch and the shared patch matrix is contracted against all
+        ``S`` stacked weight sets as a single batched matmul.  Once the
+        activations have diverged, the scenario axis is folded into the batch
+        axis for the unfold and each scenario's patches meet its own weight
+        set in the batched contraction.
+        """
+        if x.ndim not in (4, 5) or x.shape[-3] != self.in_channels:
+            raise ValueError(
+                f"Conv2D expects input (N, {self.in_channels}, H, W) or "
+                f"(S, N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        self._cache = None  # ensemble forwards are inference-only
+        stacked = self.weight.stacked
+        kh, kw = self.kernel_size
+        if x.ndim == 5 and x.shape[0] == 1:
+            x = x[0]  # shared activations: keep the single-im2col fast path
+
+        if x.ndim == 4:
+            batch = x.shape[0]
+            cols, out_h, out_w = im2col(x, kh, kw, self.stride, self.padding)
+            if stacked is None:
+                out = (cols @ self.weight.data.reshape(self.out_channels, -1).T)[None]
+            else:
+                weight_matrix = stacked.reshape(stacked.shape[0], self.out_channels, -1)
+                out = np.matmul(cols[None], weight_matrix.transpose(0, 2, 1))
+        else:
+            scenarios, batch = x.shape[:2]
+            cols, out_h, out_w = im2col(
+                x.reshape((scenarios * batch,) + x.shape[2:]), kh, kw, self.stride, self.padding
+            )
+            cols = cols.reshape(scenarios, batch * out_h * out_w, -1)
+            if stacked is None:
+                weight_matrix = self.weight.data.reshape(1, self.out_channels, -1)
+            else:
+                weight_matrix = stacked.reshape(stacked.shape[0], self.out_channels, -1)
+            out = np.matmul(cols, weight_matrix.transpose(0, 2, 1))
+        if self.bias is not None:
+            out = out + self.bias.data
+        lead = out.shape[0]
+        return out.reshape(lead, batch, out_h, out_w, self.out_channels).transpose(
+            0, 1, 4, 2, 3
+        )
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:

@@ -10,7 +10,11 @@ __all__ = ["Flatten"]
 
 
 class Flatten(Module):
-    """Reshape ``(N, C, H, W)`` feature maps to ``(N, C*H*W)`` vectors."""
+    """Reshape ``(N, C, H, W)`` feature maps to ``(N, C*H*W)`` vectors.
+
+    Scenario-stacked ``(S, N, C, H, W)`` inputs from the ensemble forward
+    path flatten to ``(S, N, C*H*W)``, preserving the leading scenario axis.
+    """
 
     def __init__(self):
         super().__init__()
@@ -18,6 +22,9 @@ class Flatten(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float32)
+        if x.ndim == 5:
+            self._input_shape = None
+            return x.reshape(*x.shape[:2], -1)
         self._input_shape = x.shape
         return x.reshape(x.shape[0], -1)
 

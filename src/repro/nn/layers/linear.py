@@ -50,12 +50,39 @@ class Linear(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float32)
+        if x.ndim == 3 or self.weight.stacked is not None:
+            return self._forward_ensemble(x)
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ValueError(
                 f"Linear expects input of shape (N, {self.in_features}), got {x.shape}"
             )
         self._cached_input = x
         out = x @ self.weight.data.T
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
+    def _forward_ensemble(self, x: np.ndarray) -> np.ndarray:
+        """Scenario-stacked forward: ``(S?, N, F) x (S?, O, F) -> (S, N, O)``.
+
+        Either operand may be shared — a 2-D input against stacked weights is
+        the canonical ``einsum('nf,sof->sno')`` contraction, expressed as a
+        batched matmul so every scenario hits BLAS; a stacked input against
+        shared weights broadcasts through a plain matmul.  Singleton leading
+        axes broadcast against the other operand's scenario count.
+        """
+        if x.ndim not in (2, 3) or x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"Linear expects input (N, {self.in_features}) or "
+                f"(S, N, {self.in_features}), got {x.shape}"
+            )
+        self._cached_input = None  # ensemble forwards are inference-only
+        stacked = self.weight.stacked
+        if stacked is None:
+            out = x @ self.weight.data.T
+        else:
+            lhs = x[None] if x.ndim == 2 else x
+            out = np.matmul(lhs, stacked.transpose(0, 2, 1))
         if self.bias is not None:
             out = out + self.bias.data
         return out

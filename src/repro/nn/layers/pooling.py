@@ -1,9 +1,16 @@
-"""Pooling layers: max, average and global average pooling."""
+"""Pooling layers: max, average and global average pooling.
+
+Every pooling layer treats each sample independently, so scenario-stacked
+``(S, N, C, H, W)`` inputs from the ensemble forward path are handled by
+folding the scenario axis into the batch axis (see :mod:`repro.nn.ensemble`);
+ensemble forwards drop the backward cache since they are inference-only.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.ensemble import fold_scenarios, unfold_scenarios
 from repro.nn.functional import col2im, im2col
 from repro.nn.module import Module
 from repro.utils.validation import check_positive_int
@@ -25,6 +32,11 @@ class MaxPool2D(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float32)
+        if x.ndim == 5:
+            folded, lead = fold_scenarios(x)
+            out = self._forward_inference(folded)
+            self._cache = None
+            return unfold_scenarios(out, lead)
         batch, channels, _, _ = x.shape
         k = self.kernel_size
         # Treat each channel independently so the window matrix is (N*C, ...)
@@ -34,6 +46,29 @@ class MaxPool2D(Module):
         out = cols[np.arange(cols.shape[0]), argmax]
         out = out.reshape(batch, channels, out_h, out_w)
         self._cache = (argmax, cols.shape, reshaped.shape, x.shape, out_h, out_w)
+        return out
+
+    def _forward_inference(self, x: np.ndarray) -> np.ndarray:
+        """Cache-free max pooling for the scenario-stacked ensemble path.
+
+        For the ubiquitous non-overlapping, unpadded case the windows are a
+        plain reshape, so the max runs without materializing the im2col patch
+        matrix or its argmax (``max`` is order-independent, so the result is
+        bit-identical to the windowed path).  Other geometries fall back to
+        the im2col forward.
+        """
+        k = self.kernel_size
+        batch, channels, height, width = x.shape
+        if (
+            self.padding == 0
+            and self.stride == k
+            and height % k == 0
+            and width % k == 0
+        ):
+            windows = x.reshape(batch, channels, height // k, k, width // k, k)
+            return windows.max(axis=(3, 5))
+        out = self.forward(x)
+        self._cache = None
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -66,6 +101,11 @@ class AvgPool2D(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float32)
+        if x.ndim == 5:
+            folded, lead = fold_scenarios(x)
+            out = self.forward(folded)
+            self._cache = None
+            return unfold_scenarios(out, lead)
         batch, channels, _, _ = x.shape
         k = self.kernel_size
         reshaped = x.reshape(batch * channels, 1, *x.shape[2:])
@@ -98,6 +138,9 @@ class GlobalAvgPool2D(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float32)
+        if x.ndim == 5:
+            self._input_shape = None
+            return x.mean(axis=(3, 4))
         self._input_shape = x.shape
         return x.mean(axis=(2, 3))
 

@@ -140,3 +140,47 @@ class Module:
     def num_parameters(self) -> int:
         """Total number of scalar parameters."""
         return int(sum(param.size for param in self.parameters()))
+
+    # ------------------------------------------------------- stacked weights
+    def load_stacked_state(self, stacked: dict[str, np.ndarray]) -> None:
+        """Attach per-scenario stacked values ``(S, *shape)`` to parameters.
+
+        ``stacked`` may cover any subset of the named parameters (the attack
+        batch only stacks the mapped conv/fc weights); every supplied array
+        must share the same leading scenario count ``S`` — except for the
+        singleton ``S = 1``, which broadcasts against the other scenarios
+        (used to carry a single shared weight set through the ensemble).
+        While stacked values are loaded, the forward pass evaluates all
+        scenarios at once (see :mod:`repro.nn.ensemble`); call
+        :meth:`clear_stacked_state` (or use the context manager) to return to
+        the ordinary single-weight forward.
+        """
+        params = dict(self.named_parameters())
+        unexpected = sorted(set(stacked) - set(params))
+        if unexpected:
+            raise KeyError(f"stacked state has unknown parameter(s): {unexpected}")
+        scenario_counts = set()
+        for name, value in stacked.items():
+            value = np.asarray(value, dtype=np.float32)
+            if value.ndim == 0 or value.shape[1:] != params[name].data.shape:
+                raise ValueError(
+                    f"stacked value for {name} must have shape (S, "
+                    f"{', '.join(map(str, params[name].data.shape))}), got {value.shape}"
+                )
+            if value.shape[0] != 1:
+                scenario_counts.add(value.shape[0])
+        if len(scenario_counts) > 1:
+            raise ValueError(
+                f"inconsistent scenario counts in stacked state: {sorted(scenario_counts)}"
+            )
+        for name, value in stacked.items():
+            params[name].stacked = np.asarray(value, dtype=np.float32)
+
+    def clear_stacked_state(self) -> None:
+        """Detach every stacked per-scenario value loaded on this module."""
+        for param in self.parameters():
+            param.stacked = None
+
+    def has_stacked_state(self) -> bool:
+        """True when any parameter currently carries a stacked value."""
+        return any(param.stacked is not None for param in self.parameters())

@@ -29,6 +29,12 @@ class Parameter:
         normalization parameters.  Only ``conv`` and ``fc`` weights are
         imprinted onto MR banks (biases and batch-norm parameters stay in the
         electronic domain in CrossLight-style accelerators).
+
+    A parameter can additionally carry a *stacked* value of shape
+    ``(S, *shape)`` — one weight set per attack scenario — attached via
+    :meth:`repro.nn.module.Module.load_stacked_state`.  While a stacked value
+    is present, layers that consume the parameter evaluate all ``S`` weight
+    sets in a single ensemble forward pass (inference only).
     """
 
     def __init__(self, data: np.ndarray, name: str = "", kind: str = "other"):
@@ -36,6 +42,7 @@ class Parameter:
         self.grad = np.zeros_like(self.data)
         self.name = name
         self.kind = kind
+        self.stacked: np.ndarray | None = None
 
     @property
     def shape(self) -> tuple[int, ...]:
