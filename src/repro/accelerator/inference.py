@@ -253,13 +253,13 @@ class AttackedInferenceEngine:
 
     @staticmethod
     def _touched_blocks(outcome: AttackOutcome) -> set[str]:
-        """Blocks whose mapped weights this outcome actually corrupts."""
-        touched = set()
-        for block in ("conv", "fc"):
-            slots = outcome.actuation_slots.get(block)
-            if (slots is not None and len(slots)) or outcome.bank_delta_t.get(block):
-                touched.add(block)
-        return touched
+        """Blocks whose mapped weights this outcome actually corrupts.
+
+        Delegates to the kind-agnostic effect API, so any registered attack
+        kind participates in the shared-trunk chunking without the engine
+        knowing its mechanics.
+        """
+        return set(outcome.touched_blocks())
 
     def _auto_scenario_chunk(self, dataset: Dataset, conv_diverged: bool = True) -> int:
         """Scenario-chunk size for one group of outcomes.

@@ -46,6 +46,11 @@ class ExperimentDescriptor:
         Default value for every parameter the runner accepts.  Overrides
         passed to :meth:`run` are validated against this mapping, so a typo
         in a sweep definition fails fast instead of being silently ignored.
+    attack_kind_params:
+        Names of the parameters (if any) that accept registered attack
+        kinds — e.g. ``("kind",)`` for the sweepable per-point experiments.
+        ``python -m repro attacks`` uses this to show which experiments a
+        kind can be swept through.
     """
 
     experiment_id: str
@@ -55,6 +60,7 @@ class ExperimentDescriptor:
     bench_target: str
     runner: Callable[..., dict]
     default_params: Mapping[str, object] = field(default_factory=dict)
+    attack_kind_params: tuple[str, ...] = ()
 
     @property
     def seedable(self) -> bool:
@@ -165,6 +171,7 @@ def _run_fig7(
     blocks: tuple[str, ...] = ("both",),
     fractions: tuple[float, ...] = (0.01, 0.10),
     num_placements: int = 2,
+    kind_params: dict | None = None,
     seed: int = 0,
 ) -> dict:
     from repro.analysis.susceptibility import SusceptibilityConfig, SusceptibilityStudy
@@ -175,6 +182,7 @@ def _run_fig7(
         blocks=tuple(blocks),
         fractions=tuple(fractions),
         num_placements=num_placements,
+        kind_params=kind_params,
         seed=seed,
     )
     result = SusceptibilityStudy(config).run()
@@ -193,11 +201,15 @@ def _run_fig7_point(
     fraction: float = 0.05,
     placement: int = 0,
     quantize_weights: bool = True,
+    kind_params: dict | None = None,
     seed: int = 0,
 ) -> dict:
     """One point of the Fig. 7 susceptibility grid (engine/sweep unit of work).
 
-    Seeds are derived exactly as :func:`repro.attacks.scenario.generate_scenarios`
+    ``kind`` accepts any registered attack kind (``python -m repro attacks``
+    lists them) and ``kind_params`` carries its physical parameters, e.g.
+    ``--set kind_params='{"triggered": {"base": "hotspot"}}'``.  Seeds are
+    derived exactly as :func:`repro.attacks.scenario.generate_scenarios`
     derives them, so a sweep over (kind, block, fraction, placement) reproduces
     the same scenarios as a monolithic :class:`SusceptibilityStudy` run.
     """
@@ -212,7 +224,10 @@ def _run_fig7_point(
     scenario_seed = RngFactory(seed=seed).child_seed(f"{spec.label()}#{placement}")
     scenario = AttackScenario(spec=spec, placement=placement, seed=scenario_seed)
     outcome = sample_outcome(
-        scenario, AcceleratorConfig.scaled_config(), HotspotAttackConfig()
+        scenario,
+        AcceleratorConfig.scaled_config(),
+        HotspotAttackConfig(),
+        kind_params=kind_params,
     )
     accuracy = engine.accuracy_under_attack(split.test, outcome)
     return {
@@ -237,6 +252,7 @@ def _run_fig7_grid(
     backend: str = "batched",
     scenario_chunk: int = 0,
     quantize_weights: bool = True,
+    kind_params: dict | None = None,
     seed: int = 0,
 ) -> dict:
     """A whole Fig. 7 scenario grid in stacked forward passes (sweepable).
@@ -244,10 +260,11 @@ def _run_fig7_grid(
     Where :func:`_run_fig7_point` is the one-scenario sweep unit,
     ``fig7_grid`` evaluates an entire (kinds x blocks x fractions x
     placements) grid for one workload through
-    :meth:`AttackedInferenceEngine.accuracy_under_attacks`.
-    ``backend="serial"`` runs the same grid through the per-scenario
-    reference path (used by the equivalence benchmark); ``scenario_chunk=0``
-    selects the memory-aware automatic chunk.
+    :meth:`AttackedInferenceEngine.accuracy_under_attacks`.  ``kinds``
+    accepts any registered attack kinds, with per-kind physical parameters
+    in ``kind_params``.  ``backend="serial"`` runs the same grid through the
+    per-scenario reference path (used by the equivalence benchmark);
+    ``scenario_chunk=0`` selects the memory-aware automatic chunk.
     """
     import numpy as np
 
@@ -267,7 +284,10 @@ def _run_fig7_grid(
     )
     config = AcceleratorConfig.scaled_config()
     hotspot = HotspotAttackConfig()
-    outcomes = [sample_outcome(scenario, config, hotspot) for scenario in scenarios]
+    outcomes = [
+        sample_outcome(scenario, config, hotspot, kind_params=kind_params)
+        for scenario in scenarios
+    ]
     if backend == "batched":
         accuracies = engine.accuracy_under_attacks(
             split.test, outcomes, scenario_chunk=scenario_chunk or None
@@ -311,9 +331,11 @@ def _run_fig8(
 def _run_fig8_variant(
     model: str = "cnn_mnist",
     variant: str = "l2+n3",
+    kinds: tuple[str, ...] = ("actuation", "hotspot"),
     blocks: tuple[str, ...] = ("both",),
     fractions: tuple[float, ...] = (0.05, 0.10),
     num_placements: int = 2,
+    kind_params: dict | None = None,
     seed: int = 0,
 ) -> dict:
     """Train and evaluate one mitigation variant (engine/sweep unit of work).
@@ -357,6 +379,7 @@ def _run_fig8_variant(
 
     accelerator = AcceleratorConfig.scaled_config()
     scenarios = generate_scenarios(
+        kinds=tuple(kinds),
         blocks=tuple(blocks),
         fractions=tuple(fractions),
         num_placements=num_placements,
@@ -364,7 +387,10 @@ def _run_fig8_variant(
     )
     engine = AttackedInferenceEngine(trained.model, config=accelerator)
     hotspot = HotspotAttackConfig()
-    outcomes = [sample_outcome(scenario, accelerator, hotspot) for scenario in scenarios]
+    outcomes = [
+        sample_outcome(scenario, accelerator, hotspot, kind_params=kind_params)
+        for scenario in scenarios
+    ]
     values = np.asarray(
         engine.accuracy_under_attacks(split.test, outcomes), dtype=float
     )
@@ -528,8 +554,10 @@ EXPERIMENTS: dict[str, ExperimentDescriptor] = {
             blocks=("both",),
             fractions=(0.01, 0.10),
             num_placements=2,
+            kind_params=None,
             seed=0,
         ),
+        attack_kind_params=("kinds",),
     ),
     "fig7_point": ExperimentDescriptor(
         experiment_id="fig7_point",
@@ -545,8 +573,10 @@ EXPERIMENTS: dict[str, ExperimentDescriptor] = {
             fraction=0.05,
             placement=0,
             quantize_weights=True,
+            kind_params=None,
             seed=0,
         ),
+        attack_kind_params=("kind",),
     ),
     "fig7_grid": ExperimentDescriptor(
         experiment_id="fig7_grid",
@@ -568,8 +598,10 @@ EXPERIMENTS: dict[str, ExperimentDescriptor] = {
             backend="batched",
             scenario_chunk=0,
             quantize_weights=True,
+            kind_params=None,
             seed=0,
         ),
+        attack_kind_params=("kinds",),
     ),
     "fig8": ExperimentDescriptor(
         experiment_id="fig8",
@@ -590,11 +622,14 @@ EXPERIMENTS: dict[str, ExperimentDescriptor] = {
         default_params=_params(
             model="cnn_mnist",
             variant="l2+n3",
+            kinds=("actuation", "hotspot"),
             blocks=("both",),
             fractions=(0.05, 0.10),
             num_placements=2,
+            kind_params=None,
             seed=0,
         ),
+        attack_kind_params=("kinds",),
     ),
     "signal_mc": ExperimentDescriptor(
         experiment_id="signal_mc",

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.accelerator.config import AcceleratorConfig
 from repro.accelerator.inference import AttackedInferenceEngine
-from repro.attacks.base import KINDS
+from repro.attacks.base import PAPER_KINDS
 from repro.attacks.hotspot import HotspotAttackConfig
 from repro.attacks.scenario import DEFAULT_FRACTIONS, generate_scenarios, sample_outcome
 from repro.datasets.base import DatasetSplit, train_test_split
@@ -74,7 +74,9 @@ class MitigationAnalysisConfig:
         Variant grid (defaults to the paper's Original, L2_reg, l2+n1..n9).
     kinds, blocks, fractions, num_placements:
         Attack grid used for the variant comparison (Fig. 8 evaluates every
-        block target; Fig. 9 uses the combined CONV+FC attacks).
+        block target; Fig. 9 uses the combined CONV+FC attacks).  ``kinds``
+        accepts any registered attack kind; ``kind_params`` carries per-kind
+        physical parameters for the non-default ones.
     seed:
         Master seed.
     scenario_batch:
@@ -86,13 +88,14 @@ class MitigationAnalysisConfig:
 
     model_names: Sequence[str] = ("cnn_mnist", "resnet18", "vgg16_variant")
     variants: Sequence[VariantSpec] | None = None
-    kinds: Sequence[str] = KINDS
+    kinds: Sequence[str] = PAPER_KINDS
     blocks: Sequence[str] = ("conv", "fc", "both")
     fractions: Sequence[float] = DEFAULT_FRACTIONS
     num_placements: int = 3
     seed: int = 0
     accelerator: AcceleratorConfig = field(default_factory=AcceleratorConfig.scaled_config)
     hotspot: HotspotAttackConfig = field(default_factory=HotspotAttackConfig)
+    kind_params: dict | None = None
     quantize_weights: bool = True
     test_fraction: float = 0.25
     scenario_batch: bool = True
@@ -229,7 +232,15 @@ class MitigationStudy:
         )
         # Pre-sample outcomes once: every variant faces the same attacks.
         outcomes = [
-            (s, sample_outcome(s, self.config.accelerator, self.config.hotspot))
+            (
+                s,
+                sample_outcome(
+                    s,
+                    self.config.accelerator,
+                    self.config.hotspot,
+                    kind_params=self.config.kind_params,
+                ),
+            )
             for s in scenarios
         ]
         for model_name in self.config.model_names:

@@ -1,9 +1,10 @@
 """Susceptibility analysis (paper §IV, Fig. 7).
 
 For every workload the study trains the baseline model, deploys it on the
-accelerator, samples the attack grid (actuation + hotspot, 1/5/10% of the
-MRs, CONV / FC / CONV+FC targets, several random placements) and records the
-attacked inference accuracy of every scenario.
+accelerator, samples the attack grid (the paper's actuation + hotspot kinds
+by default — any registered attack kind is a valid axis value — at 1/5/10%
+intensity, CONV / FC / CONV+FC targets, several random placements) and
+records the attacked inference accuracy of every scenario.
 """
 
 from __future__ import annotations
@@ -15,7 +16,7 @@ import numpy as np
 
 from repro.accelerator.config import AcceleratorConfig
 from repro.accelerator.inference import AttackedInferenceEngine
-from repro.attacks.base import BLOCKS, KINDS
+from repro.attacks.base import BLOCKS, PAPER_KINDS
 from repro.attacks.hotspot import HotspotAttackConfig
 from repro.attacks.scenario import (
     DEFAULT_FRACTIONS,
@@ -65,7 +66,8 @@ class SusceptibilityConfig:
     model_names:
         Workloads to evaluate (default: all three Table I models).
     kinds, blocks, fractions:
-        Attack grid axes.
+        Attack grid axes; ``kinds`` accepts any registered attack kind
+        (default: the paper's actuation + hotspot pair).
     num_placements:
         Random trojan placements per grid point (the paper uses 10).
     seed:
@@ -84,16 +86,21 @@ class SusceptibilityConfig:
         property-tested against.
     scenario_chunk:
         Scenarios per stacked forward pass (``None``: memory-aware auto).
+    kind_params:
+        Per-kind physical parameters (kind name → params dataclass or
+        mapping of overrides) for non-default grid kinds, forwarded to
+        :func:`~repro.attacks.scenario.sample_outcome`.
     """
 
     model_names: Sequence[str] = ("cnn_mnist", "resnet18", "vgg16_variant")
-    kinds: Sequence[str] = KINDS
+    kinds: Sequence[str] = PAPER_KINDS
     blocks: Sequence[str] = BLOCKS
     fractions: Sequence[float] = DEFAULT_FRACTIONS
     num_placements: int = 10
     seed: int = 0
     accelerator: AcceleratorConfig = field(default_factory=AcceleratorConfig.scaled_config)
     hotspot: HotspotAttackConfig = field(default_factory=HotspotAttackConfig)
+    kind_params: dict | None = None
     quantize_weights: bool = True
     test_fraction: float = 0.25
     scenario_batch: bool = True
@@ -243,7 +250,12 @@ class SusceptibilityStudy:
         reference path.
         """
         outcomes = [
-            sample_outcome(scenario, self.config.accelerator, self.config.hotspot)
+            sample_outcome(
+                scenario,
+                self.config.accelerator,
+                self.config.hotspot,
+                kind_params=self.config.kind_params,
+            )
             for scenario in scenarios
         ]
         if self.config.scenario_batch:

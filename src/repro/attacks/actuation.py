@@ -12,14 +12,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.accelerator.config import AcceleratorConfig
-from repro.attacks.base import AttackOutcome, AttackSpec
-from repro.utils.rng import default_rng
-from repro.utils.validation import ValidationError
+from repro.attacks.base import AttackOutcome, AttackSpec, BlockEffect
+from repro.attacks.registry import AttackKind, register_attack
+from repro.utils.rng import default_rng, seed_int
 
 __all__ = ["ActuationAttack"]
 
 
-class ActuationAttack:
+@register_attack("actuation")
+class ActuationAttack(AttackKind):
     """Randomly placed off-resonance attacks on individual MRs.
 
     Parameters
@@ -28,10 +29,7 @@ class ActuationAttack:
         Attack specification; ``spec.kind`` must be ``"actuation"``.
     """
 
-    def __init__(self, spec: AttackSpec):
-        if spec.kind != "actuation":
-            raise ValidationError(f"ActuationAttack requires kind='actuation', got {spec.kind!r}")
-        self.spec = spec
+    summary = "EO-circuit HTs force individual, randomly placed MRs off resonance"
 
     def sample(
         self,
@@ -45,18 +43,15 @@ class ActuationAttack:
         fraction is non-zero).
         """
         rng = default_rng(seed)
-        outcome = AttackOutcome(spec=self.spec, seed=_seed_of(seed))
+        outcome = AttackOutcome(spec=self.spec, seed=seed_int(seed))
         for block in self.spec.blocks:
             geometry = config.block(block)
             num_attacked = max(1, int(round(self.spec.fraction * geometry.capacity)))
             num_attacked = min(num_attacked, geometry.capacity)
             slots = rng.choice(geometry.capacity, size=num_attacked, replace=False)
-            outcome.actuation_slots[block] = np.sort(slots.astype(np.int64))
+            outcome.add_effect(
+                block,
+                BlockEffect(slots_off=np.sort(slots.astype(np.int64))),
+                attacked_mrs=num_attacked,
+            )
         return outcome
-
-
-def _seed_of(seed) -> int:
-    """Best-effort integer representation of the seed for bookkeeping."""
-    if isinstance(seed, (int, np.integer)):
-        return int(seed)
-    return -1

@@ -1,4 +1,15 @@
-"""Common attack data structures."""
+"""Common attack data structures: specs, composable effects, outcomes.
+
+An attack *spec* says what the attacker does (kind, targeted block, attacked
+fraction); a placed *outcome* says what happened to the substrate.  Outcomes
+are expressed in terms of kind-agnostic :class:`BlockEffect` primitives —
+slot masks, per-bank temperature rises, per-wavelength carrier scales — so
+the injection kernels in :mod:`repro.attacks.injection` and the scenario
+batching in :class:`~repro.accelerator.inference.AttackedInferenceEngine`
+never dispatch on the attack kind: any registered kind (see
+:mod:`repro.attacks.registry`) that can describe itself with these
+primitives rides the same vectorized paths.
+"""
 
 from __future__ import annotations
 
@@ -6,12 +17,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.utils.validation import check_fraction, check_in_choices
+from repro.attacks import registry
+from repro.utils.validation import ValidationError, check_fraction, check_in_choices
 
-__all__ = ["KINDS", "BLOCKS", "AttackSpec", "AttackOutcome"]
+__all__ = ["PAPER_KINDS", "KINDS", "BLOCKS", "AttackSpec", "BlockEffect", "AttackOutcome"]
 
-#: Supported attack kinds.
-KINDS = ("actuation", "hotspot")
+#: The two attack kinds evaluated in the paper (the default study grid).
+PAPER_KINDS = ("actuation", "hotspot")
+
+#: Backwards-compatible alias; arbitrary kinds come from the attack registry.
+KINDS = PAPER_KINDS
 
 #: Supported attack targets: the CONV block, the FC block, or both.
 BLOCKS = ("conv", "fc", "both")
@@ -24,15 +39,15 @@ class AttackSpec:
     Attributes
     ----------
     kind:
-        ``"actuation"`` (individual MRs off-resonance) or ``"hotspot"``
-        (heaters of whole banks overdriven).
+        Any registered attack kind (``python -m repro attacks`` lists them;
+        the paper's kinds are ``"actuation"`` and ``"hotspot"``).
     target_block:
         ``"conv"``, ``"fc"`` or ``"both"``.
     fraction:
-        Fraction of the targeted block's MRs under attack (the paper's 1%,
-        5%, 10%).  For hotspot attacks the corresponding fraction of MR
-        *banks* is attacked, which targets the same fraction of MRs since a
-        bank is one row of MRs.
+        Fraction of the targeted block's resources under attack (the paper's
+        1%, 5%, 10%).  Each kind documents which resource the fraction
+        counts: MR slots (actuation), MR banks (hotspot, crosstalk) or WDM
+        channels (laser_power).
     """
 
     kind: str
@@ -40,7 +55,11 @@ class AttackSpec:
     fraction: float
 
     def __post_init__(self) -> None:
-        check_in_choices(self.kind, "kind", KINDS)
+        if not registry.is_registered(self.kind):
+            raise ValidationError(
+                f"kind must be a registered attack kind "
+                f"{sorted(registry.registered_kinds())}, got {self.kind!r}"
+            )
         check_in_choices(self.target_block, "target_block", BLOCKS)
         check_fraction(self.fraction, "fraction")
 
@@ -57,6 +76,77 @@ class AttackSpec:
 
 
 @dataclass
+class BlockEffect:
+    """Composable injection effects on one accelerator block.
+
+    The three primitives cover every supported corruption mechanism and are
+    merged by the injection kernel in a fixed order (slot floors, then
+    thermal re-pairing, then carrier scaling):
+
+    Attributes
+    ----------
+    slots_off:
+        Flat MR slot indices forced to the off-resonance floor (the hosted
+        magnitude collapses to ≈0).
+    bank_delta_t:
+        ``flat bank index -> temperature rise [K]``; converted into channel
+        re-pairings plus a Lorentzian detuning scale via Eq. 2.
+    attacked_banks:
+        Bank indices whose heaters the trojan controls directly (subset of
+        ``bank_delta_t`` keys).  Other heated banks are partially protected
+        by their own thermo-optic tuning loops.
+    col_scale:
+        Per-wavelength (per-column) multiplicative magnitude scale across
+        every bank of the block; ``None`` means all ones.
+    """
+
+    slots_off: np.ndarray | None = None
+    bank_delta_t: dict[int, float] = field(default_factory=dict)
+    attacked_banks: tuple[int, ...] = ()
+    col_scale: np.ndarray | None = None
+
+    def is_empty(self) -> bool:
+        """True when applying this effect is a no-op."""
+        has_slots = self.slots_off is not None and len(self.slots_off) > 0
+        has_scale = self.col_scale is not None and bool(
+            np.any(np.asarray(self.col_scale) != 1.0)
+        )
+        return not has_slots and not self.bank_delta_t and not has_scale
+
+    def merged_with(self, other: "BlockEffect") -> "BlockEffect":
+        """Compose two effects on the same block.
+
+        Slot floors union, temperature rises add (thermal superposition,
+        union of directly controlled banks) and carrier scales multiply —
+        the semantics a wrapper kind (e.g. ``triggered``) relies on.
+        """
+        slots_off = self.slots_off
+        if other.slots_off is not None and len(other.slots_off):
+            slots_off = (
+                np.union1d(slots_off, other.slots_off)
+                if slots_off is not None and len(slots_off)
+                else np.asarray(other.slots_off)
+            )
+        bank_delta_t = dict(self.bank_delta_t)
+        for bank, rise in other.bank_delta_t.items():
+            bank_delta_t[bank] = bank_delta_t.get(bank, 0.0) + float(rise)
+        col_scale = self.col_scale
+        if other.col_scale is not None:
+            col_scale = (
+                np.asarray(other.col_scale, dtype=np.float64)
+                if col_scale is None
+                else np.asarray(col_scale, dtype=np.float64)
+                * np.asarray(other.col_scale, dtype=np.float64)
+            )
+        return BlockEffect(
+            slots_off=slots_off,
+            bank_delta_t=bank_delta_t,
+            attacked_banks=tuple(sorted({*self.attacked_banks, *other.attacked_banks})),
+            col_scale=col_scale,
+        )
+
+
+@dataclass
 class AttackOutcome:
     """A concrete (placed) attack instance ready for injection.
 
@@ -66,36 +156,69 @@ class AttackOutcome:
         The attack specification this outcome realizes.
     seed:
         Random seed used for the placement.
-    actuation_slots:
-        For each block name, the flat MR slot indices forced off-resonance.
-    bank_delta_t:
-        For each block name, a mapping ``flat bank index -> temperature rise
-        [K]`` covering both directly attacked banks and heated neighbours.
-    attacked_banks:
-        For each block name, the bank indices whose heaters were directly
-        overdriven (subset of ``bank_delta_t`` keys).
+    effects:
+        Per-block :class:`BlockEffect` describing the substrate corruption.
+    attacked_mrs:
+        Per-block count of MR slots in the trojan's direct footprint,
+        recorded by the sampling kind (each kind documents its counting
+        rule, e.g. ``attacked banks x cols`` for hotspot attacks).
     """
 
     spec: AttackSpec
     seed: int = 0
-    actuation_slots: dict[str, np.ndarray] = field(default_factory=dict)
-    bank_delta_t: dict[str, dict[int, float]] = field(default_factory=dict)
-    attacked_banks: dict[str, tuple[int, ...]] = field(default_factory=dict)
+    effects: dict[str, BlockEffect] = field(default_factory=dict)
+    attacked_mrs: dict[str, int] = field(default_factory=dict)
 
-    def num_attacked_mrs(self, block: str, cols: int | None = None) -> int:
-        """Number of directly attacked MRs in ``block``.
+    def effect(self, block: str) -> BlockEffect:
+        """The block's effect, created empty on first access (for builders)."""
+        return self.effects.setdefault(block, BlockEffect())
 
-        For hotspot outcomes the count is ``attacked banks x cols`` and
-        ``cols`` must be provided.
+    def add_effect(
+        self, block: str, effect: BlockEffect, attacked_mrs: int | None = None
+    ) -> None:
+        """Merge ``effect`` into ``block`` and accumulate the MR footprint."""
+        existing = self.effects.get(block)
+        self.effects[block] = (
+            effect if existing is None else existing.merged_with(effect)
+        )
+        if attacked_mrs is not None:
+            self.attacked_mrs[block] = self.attacked_mrs.get(block, 0) + int(attacked_mrs)
+
+    def touches(self, block: str) -> bool:
+        """Whether this outcome corrupts any mapped weight of ``block``."""
+        effect = self.effects.get(block)
+        return effect is not None and not effect.is_empty()
+
+    def touched_blocks(self) -> tuple[str, ...]:
+        """Blocks whose mapped weights this outcome actually corrupts."""
+        return tuple(block for block in ("conv", "fc") if self.touches(block))
+
+    def num_attacked_mrs(self, block: str) -> int:
+        """Number of MRs in the trojan's direct footprint within ``block``.
+
+        Outcomes sampled through :meth:`AttackKind.sample
+        <repro.attacks.registry.AttackKind.sample>` always record this count.
+        For hand-built outcomes the count falls back to the slot-mask size
+        when that is the only effect; otherwise the footprint is ambiguous
+        and a :class:`~repro.utils.validation.ValidationError` is raised.
         """
-        if self.spec.kind == "actuation":
-            return int(len(self.actuation_slots.get(block, ())))
-        if cols is None:
-            raise ValueError("cols is required to count hotspot-attacked MRs")
-        return len(self.attacked_banks.get(block, ())) * cols
+        if block in self.attacked_mrs:
+            return self.attacked_mrs[block]
+        effect = self.effects.get(block)
+        if effect is None or effect.is_empty():
+            return 0
+        if (
+            not effect.bank_delta_t
+            and effect.col_scale is None
+            and effect.slots_off is not None
+        ):
+            return int(len(effect.slots_off))
+        raise ValidationError(
+            f"outcome records no attacked-MR count for block {block!r}; "
+            "sample through an AttackKind or record it via "
+            "add_effect(..., attacked_mrs=...)"
+        )
 
     def is_empty(self) -> bool:
-        """True when the outcome touches no MRs at all."""
-        has_actuation = any(len(v) for v in self.actuation_slots.values())
-        has_thermal = any(len(v) for v in self.bank_delta_t.values())
-        return not has_actuation and not has_thermal
+        """True when the outcome touches no MRs at all (e.g. dormant trojans)."""
+        return all(effect.is_empty() for effect in self.effects.values())

@@ -16,14 +16,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.accelerator.config import AcceleratorConfig
-from repro.attacks.base import AttackOutcome, AttackSpec
-from repro.thermal.floorplan import Floorplan
-from repro.thermal.grid_solver import GridThermalSolver, ThermalSolverConfig
-from repro.thermal.heatmap import simulate_hotspot_attack
-from repro.utils.rng import default_rng
-from repro.utils.validation import ValidationError, check_positive
+from repro.attacks.base import AttackOutcome, BlockEffect
+from repro.attacks.registry import AttackKind, register_attack
+from repro.utils.rng import default_rng, seed_int
+from repro.utils.validation import check_positive
 
-__all__ = ["HotspotAttackConfig", "HotspotAttack"]
+__all__ = ["HotspotAttackConfig", "HotspotAttack", "solve_bank_heat"]
 
 
 @dataclass(frozen=True)
@@ -62,22 +60,56 @@ class HotspotAttackConfig:
         check_positive(self.attacked_bank_min_rise_k, "attacked_bank_min_rise_k")
 
 
-class HotspotAttack:
+def solve_bank_heat(
+    num_banks: int,
+    heated_banks: np.ndarray,
+    heater_power_mw: float,
+    baseline_power_mw: float,
+    grid_rows: int,
+    grid_cols: int,
+) -> np.ndarray:
+    """Per-bank steady-state temperature rise for one block.
+
+    Shared by every thermal attack kind (hotspot heater overdrive, crosstalk
+    leakage): the heat sources differ, the substrate physics does not.
+    """
+    from repro.thermal.floorplan import Floorplan
+    from repro.thermal.grid_solver import GridThermalSolver, ThermalSolverConfig
+    from repro.thermal.heatmap import simulate_hotspot_attack
+
+    floorplan = Floorplan(num_banks=num_banks)
+    solver = GridThermalSolver(
+        ThermalSolverConfig(grid_rows=grid_rows, grid_cols=grid_cols)
+    )
+    result = simulate_hotspot_attack(
+        floorplan,
+        attacked_banks=[int(b) for b in heated_banks],
+        heater_power_mw=heater_power_mw,
+        baseline_power_mw=baseline_power_mw,
+        solver=solver,
+    )
+    return result.bank_temperature_rise_k
+
+
+@register_attack("hotspot")
+class HotspotAttack(AttackKind):
     """Randomly placed heater-overdrive attacks on whole MR banks.
 
     Parameters
     ----------
     spec:
         Attack specification; ``spec.kind`` must be ``"hotspot"``.
-    config:
+    params:
         Physical attack parameters (heater power, thermal grid).
     """
 
-    def __init__(self, spec: AttackSpec, config: HotspotAttackConfig | None = None):
-        if spec.kind != "hotspot":
-            raise ValidationError(f"HotspotAttack requires kind='hotspot', got {spec.kind!r}")
-        self.spec = spec
-        self.attack_config = config or HotspotAttackConfig()
+    params_class = HotspotAttackConfig
+    summary = "TO-circuit HTs overdrive bank heaters; hotspots shift whole banks"
+
+    @property
+    def attack_config(self) -> HotspotAttackConfig:
+        """Alias kept for callers predating the registry API."""
+        return self.params
 
     def sample(
         self,
@@ -89,48 +121,37 @@ class HotspotAttack:
         For each targeted block, ``round(fraction * num_banks)`` banks are
         chosen uniformly at random and their heaters overdriven; the solver
         then yields the per-bank temperature rise across the whole block.
+        The recorded MR footprint is ``attacked banks x cols``.
         """
         rng = default_rng(seed)
-        outcome = AttackOutcome(spec=self.spec, seed=_seed_of(seed))
+        outcome = AttackOutcome(spec=self.spec, seed=seed_int(seed))
         for block in self.spec.blocks:
             geometry = config.block(block)
             num_banks = max(1, int(round(self.spec.fraction * geometry.num_banks)))
             num_banks = min(num_banks, geometry.num_banks)
             attacked = np.sort(rng.choice(geometry.num_banks, size=num_banks, replace=False))
-            heat = self._solve_block(geometry.num_banks, attacked)
+            heat = solve_bank_heat(
+                geometry.num_banks,
+                attacked,
+                self.params.heater_power_mw,
+                self.params.baseline_power_mw,
+                self.params.grid_rows,
+                self.params.grid_cols,
+            )
             heat[attacked] = np.maximum(
-                heat[attacked], self.attack_config.attacked_bank_min_rise_k
+                heat[attacked], self.params.attacked_bank_min_rise_k
             )
             affected = {
                 int(bank): float(rise)
                 for bank, rise in enumerate(heat)
-                if rise >= self.attack_config.min_rise_k
+                if rise >= self.params.min_rise_k
             }
-            outcome.attacked_banks[block] = tuple(int(b) for b in attacked)
-            outcome.bank_delta_t[block] = affected
-        return outcome
-
-    def _solve_block(self, num_banks: int, attacked: np.ndarray) -> np.ndarray:
-        """Per-bank temperature rise for one block."""
-        floorplan = Floorplan(num_banks=num_banks)
-        solver = GridThermalSolver(
-            ThermalSolverConfig(
-                grid_rows=self.attack_config.grid_rows,
-                grid_cols=self.attack_config.grid_cols,
+            outcome.add_effect(
+                block,
+                BlockEffect(
+                    bank_delta_t=affected,
+                    attacked_banks=tuple(int(b) for b in attacked),
+                ),
+                attacked_mrs=num_banks * geometry.cols,
             )
-        )
-        result = simulate_hotspot_attack(
-            floorplan,
-            attacked_banks=[int(b) for b in attacked],
-            heater_power_mw=self.attack_config.heater_power_mw,
-            baseline_power_mw=self.attack_config.baseline_power_mw,
-            solver=solver,
-        )
-        return result.bank_temperature_rise_k
-
-
-def _seed_of(seed) -> int:
-    """Best-effort integer representation of the seed for bookkeeping."""
-    if isinstance(seed, (int, np.integer)):
-        return int(seed)
-    return -1
+        return outcome

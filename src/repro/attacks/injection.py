@@ -6,21 +6,30 @@ couples a fraction of its carrier — equal to the normalized weight magnitude
 — onto the drop bus feeding the photodetector (see
 :class:`repro.photonics.mr_bank.MRBank` with ``encoding="drop"``).
 
-* **Actuation attack** — the weight MR is pushed far off resonance, so it no
-  longer couples its carrier to the detector: the normalized magnitude
-  collapses to ≈0 regardless of the programmed value (the electronic sign
-  path is unaffected but irrelevant once the magnitude is gone).
-* **Thermal hotspot attack** — every MR in an affected bank shifts its
-  resonance by ``delta_lambda`` (Eq. 2).  A shift of ``k`` whole channels
-  re-pairs each ring with the carrier ``k`` positions later, so carrier ``j``
-  is dropped with the magnitude programmed for column ``j - k`` (the first
-  ``k`` carriers are dropped by no ring and contribute ≈0).  The sub-channel
+Outcomes describe the substrate corruption with kind-agnostic
+:class:`~repro.attacks.base.BlockEffect` primitives, merged here in a fixed
+physical order:
+
+* **Slot floors** (``slots_off``, e.g. actuation attacks) — the MR is pushed
+  far off resonance, so it no longer couples its carrier to the detector:
+  the normalized magnitude collapses to ≈0 regardless of the programmed
+  value (the electronic sign path is unaffected but irrelevant once the
+  magnitude is gone).
+* **Bank temperature rises** (``bank_delta_t``, e.g. hotspot and crosstalk
+  attacks) — every MR in an affected bank shifts its resonance by
+  ``delta_lambda`` (Eq. 2).  A shift of ``k`` whole channels re-pairs each
+  ring with the carrier ``k`` positions later, so carrier ``j`` is dropped
+  with the magnitude programmed for column ``j - k`` (the first ``k``
+  carriers are dropped by no ring and contribute ≈0).  The sub-channel
   residual shift detunes the ring partially, scaling the coupled magnitude
-  down following the Lorentzian drop-port response.  Banks that are heated
-  only indirectly (floorplan neighbours) are partially protected by their own
-  thermo-optic tuning loops, which can compensate a bounded temperature rise;
-  directly attacked banks get no such protection because the HT controls
-  their heater.
+  down following the Lorentzian drop-port response.  Banks whose heaters the
+  trojan does not control directly (``attacked_banks``) are partially
+  protected by their own thermo-optic tuning loops, which can compensate a
+  bounded temperature rise.
+* **Carrier scales** (``col_scale``, e.g. laser-power attacks) — the
+  detected magnitude on a wavelength channel scales with that carrier's
+  optical power, *after* any thermal re-pairing: the depletion follows the
+  carrier, not the ring.
 
 Injection operates on the weight-stationary mapping: a compromised MR corrupts
 the weight it hosts in *every* mapping round, which is how a fixed number of
@@ -44,7 +53,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.accelerator.mapping import MappedParameter, WeightMapping
-from repro.attacks.base import AttackOutcome
+from repro.attacks.base import AttackOutcome, BlockEffect
 from repro.nn.module import Module
 from repro.photonics import constants
 from repro.photonics.thermal_sensitivity import ThermalSensitivity
@@ -109,7 +118,7 @@ def corrupted_state_batch(
     and are simply absent from the result.  Row ``s`` of every stacked array
     is bit-identical to what :func:`corrupted_state_dict` produces for
     ``outcomes[s]`` — the per-scenario path is the reference this kernel is
-    property-tested against.
+    property-tested against, for every registered attack kind.
     """
     outcomes = list(outcomes)
     if not outcomes:
@@ -173,27 +182,28 @@ def _corrupt_tensor(
 ) -> np.ndarray:
     """Apply the attack outcome to one mapped weight tensor."""
     block = mapped.kind
+    effect = outcome.effects.get(block)
     flat = np.asarray(values, dtype=np.float32).reshape(-1).copy()
     signs = np.sign(flat)
     signs[signs == 0] = 1.0
     magnitudes = mapping.normalize(mapped, flat)
     geometry = mapping.block_geometry(block)
     slots = mapping.slots_for(mapped)
+    if effect is None:
+        effect = BlockEffect()
 
-    # --- actuation attacks: the hosted weights no longer reach the detector.
-    attacked_slots = outcome.actuation_slots.get(block)
-    if attacked_slots is not None and len(attacked_slots):
-        hit = np.isin(slots, attacked_slots)
+    # --- slot floors: the hosted weights no longer reach the detector.
+    if effect.slots_off is not None and len(effect.slots_off):
+        hit = np.isin(slots, effect.slots_off)
         magnitudes[hit] = OFF_RESONANCE_MAGNITUDE
 
-    # --- hotspot attacks: shift whole banks.
-    bank_delta_t = outcome.bank_delta_t.get(block)
-    if bank_delta_t:
+    # --- bank temperature rises: shift whole banks.
+    if effect.bank_delta_t:
         banks = slots // geometry.cols
         cols = slots % geometry.cols
         delta_t_per_bank = _effective_bank_delta_t(
-            bank_delta_t,
-            set(outcome.attacked_banks.get(block, ())),
+            effect.bank_delta_t,
+            set(effect.attacked_banks),
             geometry.num_banks,
             tuning_compensation_k,
         )
@@ -206,6 +216,12 @@ def _corrupt_tensor(
             constants.C_BAND_CENTER_NM / mapping.config.q_factor,
             sensitivity,
         )
+
+    # --- carrier scales: depleted channels couple proportionally less power.
+    if effect.col_scale is not None:
+        scale = np.asarray(effect.col_scale, dtype=np.float32)
+        magnitudes *= scale[slots % geometry.cols]
+
     corrupted = mapping.denormalize(mapped, magnitudes, signs)
     return corrupted.reshape(mapped.shape).astype(np.float32)
 
@@ -213,12 +229,13 @@ def _corrupt_tensor(
 class _BlockAttackTables:
     """Per-block scenario tables shared by every mapped tensor of the block.
 
-    Building the actuation slot table and the effective per-bank temperature
-    rises once per (block, outcome batch) means each mapped tensor only pays
-    for two cheap gathers instead of re-deriving the attack layout.
+    Building the slot-floor table, the effective per-bank temperature rises
+    and the carrier-scale table once per (block, outcome batch) means each
+    mapped tensor only pays for a few cheap gathers instead of re-deriving
+    the attack layout.
     """
 
-    #: Above this many (scenario x slot) cells the dense actuation lookup
+    #: Above this many (scenario x slot) cells the dense slot-floor lookup
     #: table is not worth its memory; fall back to per-scenario ``np.isin``.
     MAX_TABLE_CELLS = 2**26
 
@@ -231,13 +248,16 @@ class _BlockAttackTables:
     ):
         geometry = mapping.block_geometry(block)
         num_scenarios = len(outcomes)
+        effects = [
+            outcome.effects.get(block) or BlockEffect() for outcome in outcomes
+        ]
 
-        self.actuation_slots = [outcome.actuation_slots.get(block) for outcome in outcomes]
+        self.slots_off = [effect.slots_off for effect in effects]
         self.slot_table: np.ndarray | None = None
-        if any(slots is not None and len(slots) for slots in self.actuation_slots):
+        if any(slots is not None and len(slots) for slots in self.slots_off):
             if num_scenarios * geometry.capacity <= self.MAX_TABLE_CELLS:
                 self.slot_table = np.zeros((num_scenarios, geometry.capacity), dtype=bool)
-                for index, slots in enumerate(self.actuation_slots):
+                for index, slots in enumerate(self.slots_off):
                     if slots is not None and len(slots):
                         # Out-of-range slots never match any weight in the
                         # serial ``np.isin`` path; drop them here too so both
@@ -247,26 +267,39 @@ class _BlockAttackTables:
                         self.slot_table[index, slots] = True
 
         self.delta_t_per_bank: np.ndarray | None = None
-        for index, outcome in enumerate(outcomes):
-            bank_delta_t = outcome.bank_delta_t.get(block)
-            if bank_delta_t:
+        for index, effect in enumerate(effects):
+            if effect.bank_delta_t:
                 if self.delta_t_per_bank is None:
                     self.delta_t_per_bank = np.zeros((num_scenarios, geometry.num_banks))
                 self.delta_t_per_bank[index] = _effective_bank_delta_t(
-                    bank_delta_t,
-                    set(outcome.attacked_banks.get(block, ())),
+                    effect.bank_delta_t,
+                    set(effect.attacked_banks),
                     geometry.num_banks,
                     tuning_compensation_k,
                 )
 
-    def actuation_hits(self, slots: np.ndarray) -> np.ndarray | None:
-        """Boolean ``(S, W)`` mask of actuated weights (None: no actuation)."""
+        #: Scenario rows carrying a carrier-scale effect, and their stacked
+        #: per-column scales (float32, one row per entry of ``scale_rows``).
+        self.scale_rows: list[int] = [
+            index for index, effect in enumerate(effects) if effect.col_scale is not None
+        ]
+        self.col_scale_table: np.ndarray | None = None
+        if self.scale_rows:
+            self.col_scale_table = np.stack(
+                [
+                    np.asarray(effects[index].col_scale, dtype=np.float32)
+                    for index in self.scale_rows
+                ]
+            )
+
+    def slot_floor_hits(self, slots: np.ndarray) -> np.ndarray | None:
+        """Boolean ``(S, W)`` mask of floored weights (None: no slot floors)."""
         if self.slot_table is not None:
             return self.slot_table[:, slots]
-        if not any(s is not None and len(s) for s in self.actuation_slots):
+        if not any(s is not None and len(s) for s in self.slots_off):
             return None
-        hits = np.zeros((len(self.actuation_slots), slots.size), dtype=bool)
-        for index, attacked in enumerate(self.actuation_slots):
+        hits = np.zeros((len(self.slots_off), slots.size), dtype=bool)
+        for index, attacked in enumerate(self.slots_off):
             if attacked is not None and len(attacked):
                 hits[index] = np.isin(slots, attacked)
         return hits
@@ -282,10 +315,11 @@ def _corrupt_tensor_batch(
     """Apply ``S`` attack outcomes to one mapped tensor as a ``(S, W)`` pass.
 
     Runs the exact operation sequence of :func:`_corrupt_tensor` with a
-    leading scenario axis: actuation hits are one masked write, then a single
-    broadcast :func:`_apply_hotspot` handles every thermal scenario at once.
+    leading scenario axis: slot floors are one masked write, a single
+    broadcast :func:`_apply_hotspot` handles every thermal scenario at once,
+    and carrier scales are one row-gathered multiply.
     """
-    num_scenarios = len(tables.actuation_slots)
+    num_scenarios = len(tables.slots_off)
     block = mapped.kind
     flat = np.asarray(values, dtype=np.float32).reshape(-1)
     signs = np.sign(flat)
@@ -295,7 +329,7 @@ def _corrupt_tensor_batch(
     slots = mapping.slots_for(mapped)
     magnitudes = np.broadcast_to(base, (num_scenarios, base.size)).copy()
 
-    hits = tables.actuation_hits(slots)
+    hits = tables.slot_floor_hits(slots)
     if hits is not None:
         magnitudes[hits] = OFF_RESONANCE_MAGNITUDE
 
@@ -311,6 +345,15 @@ def _corrupt_tensor_batch(
             constants.C_BAND_CENTER_NM / mapping.config.q_factor,
             sensitivity,
         )
+
+    if tables.col_scale_table is not None:
+        # Same float32 elementwise multiply as the per-scenario path; rows
+        # without a carrier-scale effect are left untouched so kinds that
+        # never emit one stay bit-identical whatever shares their batch.
+        magnitudes[tables.scale_rows] *= tables.col_scale_table[
+            :, slots % geometry.cols
+        ]
+
     corrupted = mapping.denormalize(mapped, magnitudes, signs)
     return corrupted.reshape((num_scenarios, *mapped.shape)).astype(np.float32)
 
@@ -342,7 +385,7 @@ def _apply_hotspot(
     linewidth_nm: float,
     sensitivity: ThermalSensitivity,
 ) -> np.ndarray:
-    """Vectorized hotspot corruption of flattened weight magnitudes.
+    """Vectorized thermal corruption of flattened weight magnitudes.
 
     ``magnitudes`` is ``(W,)`` for the per-scenario path or ``(S, W)`` for the
     scenario batch; ``delta_t_per_bank`` has the matching ``(num_banks,)`` or

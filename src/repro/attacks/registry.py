@@ -1,0 +1,218 @@
+"""Pluggable attack-kind registry.
+
+The susceptibility methodology (paper §III–§IV) is generic: place a trojan
+somewhere in the photonic substrate, perturb the substrate, measure the
+attacked inference accuracy.  Every concrete threat model is an
+:class:`AttackKind` — it owns a typed physical-parameter dataclass, a random
+placement procedure (:meth:`AttackKind.sample`) and, through the
+:class:`~repro.attacks.base.BlockEffect` primitives it emits, a vectorized
+injection kernel that :mod:`repro.attacks.injection` merges in a single
+broadcast pass.
+
+Kinds register themselves by name::
+
+    @register_attack("laser_power")
+    class LaserPowerAttack(AttackKind):
+        params_class = LaserPowerAttackConfig
+        def sample(self, config, seed=0): ...
+
+and every registered name is immediately accepted by
+:class:`~repro.attacks.base.AttackSpec`, the scenario grid
+(:func:`~repro.attacks.scenario.generate_scenarios`), the studies and the
+``python -m repro sweep ... --grid kind=...`` CLI.  ``python -m repro
+attacks`` lists the registry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, ClassVar, Mapping
+
+import numpy as np
+
+from repro.utils.validation import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (base imports us)
+    from repro.accelerator.config import AcceleratorConfig
+    from repro.attacks.base import AttackOutcome, AttackSpec
+
+__all__ = [
+    "AttackKind",
+    "register_attack",
+    "unregister_attack",
+    "get_attack_kind",
+    "registered_kinds",
+    "is_registered",
+    "create_attack",
+    "attack_kind_info",
+]
+
+#: Name → attack-kind class.  Populated by :func:`register_attack`; the
+#: built-in kinds register when :mod:`repro.attacks` is imported.
+_REGISTRY: dict[str, type["AttackKind"]] = {}
+
+
+class AttackKind(ABC):
+    """Base class of every registered attack kind.
+
+    Subclasses set :attr:`params_class` to their physical-parameter dataclass
+    (or leave it ``None`` for parameter-free kinds) and implement
+    :meth:`sample`, which draws one random trojan placement and returns an
+    :class:`~repro.attacks.base.AttackOutcome` whose per-block
+    :class:`~repro.attacks.base.BlockEffect` entries describe the injection
+    (slot masks, bank temperature rises, per-wavelength scales).
+
+    Parameters
+    ----------
+    spec:
+        Attack specification; ``spec.kind`` must equal the class's registered
+        name.
+    params:
+        Physical parameters: an instance of :attr:`params_class`, a mapping
+        of keyword overrides for it, or ``None`` for the defaults.
+    """
+
+    #: Registered name; assigned by :func:`register_attack`.
+    name: ClassVar[str] = ""
+
+    #: Dataclass of physical parameters (``None``: the kind takes none).
+    params_class: ClassVar[type | None] = None
+
+    #: One-line threat-model summary shown by ``python -m repro attacks``.
+    summary: ClassVar[str] = ""
+
+    def __init__(self, spec: "AttackSpec", params: object = None):
+        if spec.kind != self.name:
+            raise ValidationError(
+                f"{type(self).__name__} requires kind={self.name!r}, got {spec.kind!r}"
+            )
+        self.spec = spec
+        self.params = self.coerce_params(params)
+
+    @abstractmethod
+    def sample(
+        self,
+        config: "AcceleratorConfig",
+        seed: int | np.random.Generator | None = 0,
+    ) -> "AttackOutcome":
+        """Draw one random trojan placement as a fully placed outcome."""
+
+    # ------------------------------------------------------------- parameters
+    @classmethod
+    def coerce_params(cls, params: object):
+        """Normalize ``params`` into an instance of :attr:`params_class`."""
+        if cls.params_class is None:
+            if params is None or (isinstance(params, Mapping) and not params):
+                return None
+            raise ValidationError(
+                f"attack kind {cls.name!r} takes no parameters, got {params!r}"
+            )
+        if params is None:
+            return cls.params_class()
+        if isinstance(params, cls.params_class):
+            return params
+        if isinstance(params, Mapping):
+            known = {f.name for f in dataclasses.fields(cls.params_class)}
+            unknown = sorted(set(params) - known)
+            if unknown:
+                raise ValidationError(
+                    f"unknown parameter(s) {unknown} for attack kind {cls.name!r}; "
+                    f"accepted: {sorted(known)}"
+                )
+            return cls.params_class(**params)
+        raise ValidationError(
+            f"params for attack kind {cls.name!r} must be a "
+            f"{cls.params_class.__name__}, a mapping or None, "
+            f"got {type(params).__name__}"
+        )
+
+    @classmethod
+    def contextualize_params(cls, params: object, params_by_kind: Mapping) -> object:
+        """Resolve grid-level per-kind parameters into this kind's params.
+
+        ``params_by_kind`` is the scenario grid's full ``kind name → params``
+        mapping (see :func:`~repro.attacks.scenario.sample_outcome`).  The
+        default ignores the context; wrapper kinds (e.g. ``triggered``)
+        override it to inherit their wrapped kind's grid parameters.
+        """
+        del params_by_kind
+        return cls.coerce_params(params)
+
+    @classmethod
+    def param_defaults(cls) -> dict[str, object]:
+        """Default physical parameters as a plain dict (for docs and the CLI)."""
+        if cls.params_class is None:
+            return {}
+        defaults: dict[str, object] = {}
+        for field in dataclasses.fields(cls.params_class):
+            if field.default is not dataclasses.MISSING:
+                defaults[field.name] = field.default
+            elif field.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+                defaults[field.name] = field.default_factory()  # type: ignore[misc]
+        return defaults
+
+
+# ------------------------------------------------------------------ registry
+def register_attack(name: str):
+    """Class decorator registering an :class:`AttackKind` under ``name``."""
+
+    def decorator(cls: type[AttackKind]) -> type[AttackKind]:
+        if not name:
+            raise ValidationError("attack kind name must be a non-empty string")
+        if not issubclass(cls, AttackKind):
+            raise ValidationError(
+                f"@register_attack({name!r}) requires an AttackKind subclass, "
+                f"got {cls.__name__}"
+            )
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing is not cls:
+            raise ValidationError(
+                f"attack kind {name!r} is already registered to "
+                f"{existing.__name__}; unregister_attack({name!r}) first"
+            )
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def unregister_attack(name: str) -> None:
+    """Remove a registered kind (plugin teardown and test cleanup)."""
+    _REGISTRY.pop(name, None)
+
+
+def registered_kinds() -> tuple[str, ...]:
+    """All registered attack-kind names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def is_registered(name: str) -> bool:
+    return name in _REGISTRY
+
+
+def get_attack_kind(name: str) -> type[AttackKind]:
+    """Look up a kind by name, raising with guidance for unknown names."""
+    if name not in _REGISTRY:
+        raise ValidationError(
+            f"unknown attack kind {name!r}; registered: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name]
+
+
+def create_attack(spec: "AttackSpec", params: object = None) -> AttackKind:
+    """Instantiate the registered kind for ``spec.kind``."""
+    return get_attack_kind(spec.kind)(spec, params)
+
+
+def attack_kind_info() -> list[dict[str, object]]:
+    """Registry summary rows (name, summary, parameter defaults) for the CLI."""
+    return [
+        {
+            "kind": name,
+            "summary": cls.summary,
+            "params": cls.param_defaults(),
+        }
+        for name, cls in _REGISTRY.items()
+    ]

@@ -3,20 +3,21 @@
 The susceptibility analysis evaluates nine scenarios per attack kind: the
 fractions {1%, 5%, 10%} applied to the CONV block, the FC block, and the full
 accelerator (CONV + FC), each repeated for 10 uniformly random trojan
-placements.  :func:`generate_scenarios` produces that grid (or any reduced
-version of it) and :func:`sample_outcome` materializes a single scenario into
-a placed :class:`~repro.attacks.base.AttackOutcome`.
+placements.  :func:`generate_scenarios` produces that grid (or any reduced or
+extended version of it — any registered attack kind is a valid axis value)
+and :func:`sample_outcome` materializes a single scenario into a placed
+:class:`~repro.attacks.base.AttackOutcome` through the attack registry,
+optionally with per-kind physical parameters.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.accelerator.config import AcceleratorConfig
-from repro.attacks.actuation import ActuationAttack
-from repro.attacks.base import BLOCKS, KINDS, AttackOutcome, AttackSpec
-from repro.attacks.hotspot import HotspotAttack, HotspotAttackConfig
+from repro.attacks.base import BLOCKS, PAPER_KINDS, AttackOutcome, AttackSpec
+from repro.attacks.registry import get_attack_kind
 from repro.utils.rng import RngFactory
 
 __all__ = ["AttackScenario", "generate_scenarios", "sample_outcome",
@@ -43,16 +44,18 @@ class AttackScenario:
 
 
 def generate_scenarios(
-    kinds: Sequence[str] = KINDS,
+    kinds: Sequence[str] = PAPER_KINDS,
     blocks: Sequence[str] = BLOCKS,
     fractions: Sequence[float] = DEFAULT_FRACTIONS,
     num_placements: int = DEFAULT_NUM_PLACEMENTS,
     master_seed: int = 0,
 ) -> list[AttackScenario]:
-    """Generate the full attack grid.
+    """Generate the full attack grid over any registered kinds.
 
     Seeds are derived deterministically from ``master_seed`` and the scenario
-    coordinates, so the same grid is produced on every call.
+    coordinates, so the same grid is produced on every call; because a
+    scenario's seed hashes its own label only, adding kinds to the grid never
+    perturbs the placements of the others.
     """
     factory = RngFactory(seed=master_seed)
     scenarios: list[AttackScenario] = []
@@ -69,14 +72,27 @@ def generate_scenarios(
 def sample_outcome(
     scenario: AttackScenario,
     config: AcceleratorConfig,
-    hotspot_config: HotspotAttackConfig | None = None,
+    hotspot_config: object | None = None,
+    kind_params: Mapping[str, object] | None = None,
 ) -> AttackOutcome:
-    """Materialize one scenario into a placed attack outcome."""
-    if scenario.spec.kind == "actuation":
-        attack = ActuationAttack(scenario.spec)
-        return attack.sample(config, seed=scenario.seed)
-    attack = HotspotAttack(scenario.spec, config=hotspot_config)
-    return attack.sample(config, seed=scenario.seed)
+    """Materialize one scenario into a placed attack outcome.
+
+    ``kind_params`` maps attack-kind names to physical parameters (a params
+    dataclass instance or a mapping of overrides) for the kinds that take
+    them.  Wrapper kinds see the whole mapping through
+    :meth:`~repro.attacks.registry.AttackKind.contextualize_params`, so e.g.
+    ``triggered(base=hotspot)`` inherits the grid's hotspot parameters.
+    ``hotspot_config`` is a convenience alias for ``kind_params["hotspot"]``
+    kept for the paper-grid call sites.
+    """
+    params_by_kind = dict(kind_params or {})
+    if hotspot_config is not None:
+        params_by_kind.setdefault("hotspot", hotspot_config)
+    kind_cls = get_attack_kind(scenario.spec.kind)
+    params = kind_cls.contextualize_params(
+        params_by_kind.get(scenario.spec.kind), params_by_kind
+    )
+    return kind_cls(scenario.spec, params).sample(config, seed=scenario.seed)
 
 
 def scenarios_by_spec(scenarios: Iterable[AttackScenario]) -> dict[str, list[AttackScenario]]:

@@ -1,0 +1,161 @@
+"""Triggered attacks: any base kind wrapped in the HT trigger model.
+
+The paper's susceptibility grid assumes always-on (triggered) trojans; the
+:class:`~repro.attacks.trojan.HardwareTrojan` circuit model has supported
+dormant and inference-count-activated triggers all along, but nothing fed it
+into the scenario grid.  The ``triggered`` kind closes that gap: it wraps an
+arbitrary *base* attack kind (actuation, hotspot, crosstalk, laser_power, or
+any plugin) in a trigger, and the sampled outcome carries the base kind's
+effects only when the trigger condition holds at evaluation time.  A dormant
+trojan yields an empty outcome — the accelerator runs at clean accuracy,
+which is exactly the stealth scenario detection studies need in the grid.
+
+Placements are reproducible against the base kind: a triggered outcome that
+fires uses the same seed-to-placement path as the bare base kind, so
+``triggered(base=hotspot)`` at seed *s* corrupts the same banks as
+``hotspot`` at seed *s*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+import numpy as np
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.attacks.base import AttackOutcome, AttackSpec
+from repro.attacks.registry import AttackKind, create_attack, is_registered, register_attack
+from repro.attacks.trojan import HardwareTrojan, TriggerMode
+from repro.utils.rng import seed_int
+from repro.utils.validation import ValidationError, check_positive_int
+
+__all__ = ["TriggeredAttackConfig", "TriggeredAttack"]
+
+#: HardwareTrojan payload label per base attack kind (fallback: "heater").
+_PAYLOAD_BY_KIND = {
+    "actuation": "actuation",
+    "hotspot": "heater",
+    "crosstalk": "heater",
+    "laser_power": "laser",
+}
+
+
+@dataclass(frozen=True)
+class TriggeredAttackConfig:
+    """Trigger model and base kind of a triggered attack.
+
+    Attributes
+    ----------
+    base:
+        Registered attack kind supplying the payload effects.
+    trigger:
+        ``"always_on"``, ``"inference_count"`` or ``"external"`` (the
+        :class:`~repro.attacks.trojan.TriggerMode` values).
+    trigger_count:
+        For inference-count triggers, the activation threshold.
+    observed_inferences:
+        Inferences the compromised datapath has already served when the
+        attack grid is evaluated; the trojan fires once this reaches
+        ``trigger_count``.
+    armed:
+        For external triggers, whether the attacker has armed the trojan.
+    base_params:
+        Physical parameters forwarded to the base kind (mapping of overrides
+        or params dataclass instance).  ``None`` inherits the grid's
+        parameters for the base kind when sampled through
+        :func:`~repro.attacks.scenario.sample_outcome` (falling back to the
+        base kind's defaults), so a fired trigger corrupts the substrate
+        exactly like the bare base kind configured in the same grid.
+    """
+
+    base: str = "actuation"
+    trigger: str = "inference_count"
+    trigger_count: int = 1000
+    observed_inferences: int = 1000
+    armed: bool = False
+    base_params: Mapping | object | None = field(default=None, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.base == "triggered":
+            raise ValidationError("triggered attacks cannot wrap themselves")
+        if not is_registered(self.base):
+            raise ValidationError(
+                f"base must be a registered attack kind, got {self.base!r}"
+            )
+        try:
+            TriggerMode(self.trigger)
+        except ValueError:
+            raise ValidationError(
+                f"trigger must be one of {[m.value for m in TriggerMode]}, "
+                f"got {self.trigger!r}"
+            ) from None
+        check_positive_int(self.trigger_count, "trigger_count")
+        if not isinstance(self.observed_inferences, (int, np.integer)) or (
+            self.observed_inferences < 0
+        ):
+            raise ValidationError(
+                f"observed_inferences must be a non-negative integer, "
+                f"got {self.observed_inferences!r}"
+            )
+
+
+@register_attack("triggered")
+class TriggeredAttack(AttackKind):
+    """Any base attack kind behind a :class:`HardwareTrojan` trigger."""
+
+    params_class = TriggeredAttackConfig
+    summary = "wraps a base kind in the HT trigger model (dormant until fired)"
+
+    @classmethod
+    def contextualize_params(cls, params: object, params_by_kind: Mapping) -> object:
+        """Inherit the grid's parameters for the wrapped base kind.
+
+        Explicit ``base_params`` win; otherwise the base kind's entry in the
+        grid mapping is adopted, keeping triggered and bare scenarios of the
+        same base kind physically identical once the trigger fires.
+        """
+        config = cls.coerce_params(params)
+        if config.base_params is None and config.base in params_by_kind:
+            config = replace(config, base_params=params_by_kind[config.base])
+        return config
+
+    def build_trojan(self) -> HardwareTrojan:
+        """The trigger-circuit model in its configured evaluation state."""
+        params = self.params
+        trojan = HardwareTrojan(
+            payload=_PAYLOAD_BY_KIND.get(params.base, "heater"),
+            trigger_mode=TriggerMode(params.trigger),
+            trigger_count=params.trigger_count,
+        )
+        trojan._observed_inferences = int(params.observed_inferences)
+        if params.armed:
+            trojan.arm()
+        return trojan
+
+    def sample(
+        self,
+        config: AcceleratorConfig,
+        seed: int | np.random.Generator | None = 0,
+    ) -> AttackOutcome:
+        """Sample the base kind's placement, gated by the trigger state.
+
+        A dormant trojan yields an empty outcome (no effects, zero attacked
+        MRs); a fired trojan re-emits the base kind's effects and footprint
+        under this spec.
+        """
+        trojan = self.build_trojan()
+        outcome = AttackOutcome(spec=self.spec, seed=seed_int(seed))
+        if not trojan.triggered:
+            return outcome
+        base_spec = AttackSpec(
+            kind=self.params.base,
+            target_block=self.spec.target_block,
+            fraction=self.spec.fraction,
+        )
+        base_outcome = create_attack(base_spec, self.params.base_params).sample(
+            config, seed=seed
+        )
+        outcome.effects = base_outcome.effects
+        outcome.attacked_mrs = dict(base_outcome.attacked_mrs)
+        return outcome

@@ -33,8 +33,9 @@ class HardwareTrojan:
     Attributes
     ----------
     payload:
-        ``"actuation"`` (EO circuit, forces off-resonance) or ``"heater"``
-        (TO circuit, overdrives the heater).
+        ``"actuation"`` (EO circuit, forces off-resonance), ``"heater"``
+        (TO circuit, overdrives or parasitically heats) or ``"laser"``
+        (laser driver, depletes a WDM carrier).
     trigger_mode:
         Condition activating the payload.
     trigger_count:
@@ -49,7 +50,7 @@ class HardwareTrojan:
     _externally_armed: bool = field(default=False, repr=False)
 
     def __post_init__(self) -> None:
-        check_in_choices(self.payload, "payload", ("actuation", "heater"))
+        check_in_choices(self.payload, "payload", ("actuation", "heater", "laser"))
         check_positive_int(self.trigger_count, "trigger_count")
 
     def observe_inference(self) -> None:

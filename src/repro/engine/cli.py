@@ -4,6 +4,9 @@ Subcommands
 -----------
 ``list``
     Show every registered experiment with its paper artefact and parameters.
+``attacks``
+    Show every registered attack kind with its physical parameters and the
+    experiments that sweep over kinds (mirroring ``list``).
 ``run <experiment_id>``
     Execute one experiment (through the cache) and print its payload.
 ``sweep <experiment_id>``
@@ -112,6 +115,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list registered experiments")
+
+    attacks = sub.add_parser("attacks", help="list registered attack kinds")
+    attacks.add_argument("--json", action="store_true", help="print the registry as JSON")
 
     def add_cache_args(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -226,6 +232,40 @@ def _cmd_list() -> int:
         for descriptor in EXPERIMENTS.values()
     ]
     print(format_table(("id", "artefact", "title", "parameters"), rows))
+    return 0
+
+
+def _cmd_attacks(args: argparse.Namespace) -> int:
+    """List the attack-kind registry and where each kind can be swept."""
+    from repro.analysis.experiments import EXPERIMENTS
+    from repro.analysis.reporting import format_table
+    from repro.attacks import attack_kind_info
+
+    accepting = [
+        descriptor.experiment_id
+        for descriptor in EXPERIMENTS.values()
+        if descriptor.attack_kind_params
+    ]
+    kinds = attack_kind_info()
+    if args.json:
+        print(json.dumps(
+            {"kinds": kinds, "experiments": accepting},
+            indent=2, sort_keys=True, default=str,
+        ))
+        return 0
+    rows = []
+    for info in kinds:
+        params = ", ".join(
+            f"{name}={value}" for name, value in info["params"].items()
+        ) or "-"
+        rows.append((info["kind"], params, info["summary"]))
+    print(format_table(("kind", "parameters", "threat model"), rows))
+    print(
+        "\nexperiments accepting attack kinds (via their kind/kinds parameter): "
+        + ", ".join(accepting)
+    )
+    print("e.g.  python -m repro sweep fig7_point --grid kind=" +
+          ",".join(info["kind"] for info in kinds))
     return 0
 
 
@@ -421,6 +461,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         if args.command == "list":
             return _cmd_list()
+        if args.command == "attacks":
+            return _cmd_attacks(args)
         if args.command == "run":
             return _cmd_run(args)
         if args.command == "sweep":

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["default_rng", "spawn_rngs", "RngFactory"]
+__all__ = ["default_rng", "seed_int", "spawn_rngs", "RngFactory"]
 
 
 def default_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
@@ -26,6 +26,18 @@ def default_rng(seed: int | np.random.Generator | None = None) -> np.random.Gene
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def seed_int(seed: int | np.random.Generator | None) -> int:
+    """Best-effort integer representation of a seed for bookkeeping.
+
+    Outcome records (e.g. :class:`repro.attacks.base.AttackOutcome`) store the
+    seed they were sampled with; a pre-built ``Generator`` carries no single
+    integer seed, so it is recorded as ``-1``.
+    """
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    return -1
 
 
 def spawn_rngs(seed: int | None, count: int) -> list[np.random.Generator]:

@@ -62,7 +62,7 @@ class TestHardwareTrojan:
 
     def test_invalid_payload_rejected(self):
         with pytest.raises(ValidationError):
-            HardwareTrojan(payload="laser")
+            HardwareTrojan(payload="melt")
 
 
 class TestActuationAttack:
@@ -70,14 +70,14 @@ class TestActuationAttack:
         spec = AttackSpec("actuation", "conv", 0.25)
         outcome = ActuationAttack(spec).sample(tiny_accelerator_config, seed=0)
         capacity = tiny_accelerator_config.conv_block.capacity
-        assert len(outcome.actuation_slots["conv"]) == round(0.25 * capacity)
-        assert "fc" not in outcome.actuation_slots
+        assert len(outcome.effects["conv"].slots_off) == round(0.25 * capacity)
+        assert "fc" not in outcome.effects
 
     def test_slots_are_unique_and_in_range(self, tiny_accelerator_config):
         spec = AttackSpec("actuation", "both", 0.5)
         outcome = ActuationAttack(spec).sample(tiny_accelerator_config, seed=1)
         for block in ("conv", "fc"):
-            slots = outcome.actuation_slots[block]
+            slots = outcome.effects[block].slots_off
             assert len(np.unique(slots)) == len(slots)
             assert slots.max() < tiny_accelerator_config.block(block).capacity
 
@@ -85,7 +85,9 @@ class TestActuationAttack:
         spec = AttackSpec("actuation", "conv", 0.2)
         a = ActuationAttack(spec).sample(tiny_accelerator_config, seed=0)
         b = ActuationAttack(spec).sample(tiny_accelerator_config, seed=99)
-        assert not np.array_equal(a.actuation_slots["conv"], b.actuation_slots["conv"])
+        assert not np.array_equal(
+            a.effects["conv"].slots_off, b.effects["conv"].slots_off
+        )
 
     def test_rejects_wrong_kind(self):
         with pytest.raises(ValidationError):
@@ -94,7 +96,7 @@ class TestActuationAttack:
     def test_outcome_counts(self, tiny_accelerator_config):
         spec = AttackSpec("actuation", "conv", 0.1)
         outcome = ActuationAttack(spec).sample(tiny_accelerator_config, seed=0)
-        assert outcome.num_attacked_mrs("conv") == len(outcome.actuation_slots["conv"])
+        assert outcome.num_attacked_mrs("conv") == len(outcome.effects["conv"].slots_off)
         assert not outcome.is_empty()
 
 
@@ -103,13 +105,13 @@ class TestHotspotAttack:
         spec = AttackSpec("hotspot", "fc", 0.2)
         outcome = HotspotAttack(spec).sample(tiny_accelerator_config, seed=0)
         num_banks = tiny_accelerator_config.fc_block.num_banks
-        assert len(outcome.attacked_banks["fc"]) == round(0.2 * num_banks)
+        assert len(outcome.effects["fc"].attacked_banks) == round(0.2 * num_banks)
 
     def test_attacked_banks_have_largest_rise(self, tiny_accelerator_config):
         spec = AttackSpec("hotspot", "conv", 0.1)
         outcome = HotspotAttack(spec).sample(tiny_accelerator_config, seed=0)
-        delta = outcome.bank_delta_t["conv"]
-        attacked = outcome.attacked_banks["conv"]
+        delta = outcome.effects["conv"].bank_delta_t
+        attacked = outcome.effects["conv"].attacked_banks
         hottest = max(delta, key=delta.get)
         assert hottest in attacked
         # Attacked banks must be hot enough to shift by about a channel.
@@ -118,19 +120,28 @@ class TestHotspotAttack:
     def test_neighbours_receive_smaller_rise(self, tiny_accelerator_config):
         spec = AttackSpec("hotspot", "conv", 0.1)
         outcome = HotspotAttack(spec).sample(tiny_accelerator_config, seed=2)
-        delta = outcome.bank_delta_t["conv"]
-        attacked = set(outcome.attacked_banks["conv"])
+        delta = outcome.effects["conv"].bank_delta_t
+        attacked = set(outcome.effects["conv"].attacked_banks)
         neighbour_rises = [rise for bank, rise in delta.items() if bank not in attacked]
         if neighbour_rises:
             assert max(neighbour_rises) < min(delta[b] for b in attacked)
 
-    def test_num_attacked_mrs_requires_cols(self, tiny_accelerator_config):
+    def test_num_attacked_mrs_recorded_per_kind(self, tiny_accelerator_config):
         spec = AttackSpec("hotspot", "conv", 0.1)
         outcome = HotspotAttack(spec).sample(tiny_accelerator_config, seed=0)
-        with pytest.raises(ValueError):
-            outcome.num_attacked_mrs("conv")
         cols = tiny_accelerator_config.conv_block.cols
-        assert outcome.num_attacked_mrs("conv", cols) == len(outcome.attacked_banks["conv"]) * cols
+        assert outcome.num_attacked_mrs("conv") == (
+            len(outcome.effects["conv"].attacked_banks) * cols
+        )
+        assert outcome.num_attacked_mrs("fc") == 0
+
+    def test_num_attacked_mrs_ambiguous_hand_built_outcome(self):
+        from repro.attacks import AttackOutcome, BlockEffect
+
+        outcome = AttackOutcome(spec=AttackSpec("hotspot", "conv", 0.1))
+        outcome.effects["conv"] = BlockEffect(bank_delta_t={0: 20.0})
+        with pytest.raises(ValidationError):
+            outcome.num_attacked_mrs("conv")
 
     def test_rejects_wrong_kind(self):
         with pytest.raises(ValidationError):
@@ -166,8 +177,10 @@ class TestScenarios:
         hotspot = AttackScenario(AttackSpec("hotspot", "conv", 0.1), placement=0, seed=1)
         out_a = sample_outcome(actuation, tiny_accelerator_config)
         out_h = sample_outcome(hotspot, tiny_accelerator_config)
-        assert out_a.actuation_slots and not out_a.bank_delta_t
-        assert out_h.bank_delta_t and not out_h.actuation_slots
+        assert out_a.effects["conv"].slots_off is not None
+        assert not out_a.effects["conv"].bank_delta_t
+        assert out_h.effects["conv"].bank_delta_t
+        assert out_h.effects["conv"].slots_off is None
 
     def test_scenario_label(self):
         scenario = AttackScenario(AttackSpec("hotspot", "both", 0.01), placement=3, seed=0)
@@ -187,7 +200,7 @@ class TestInjection:
         spec = AttackSpec("actuation", "conv", 0.1)
         outcome = ActuationAttack(spec).sample(tiny_accelerator_config, seed=0)
         corrupted = corrupted_state_dict(model, mapping, outcome)
-        attacked_slots = outcome.actuation_slots["conv"]
+        attacked_slots = outcome.effects["conv"].slots_off
         for mapped in mapping.parameters_in_block("conv"):
             original = model.state_dict()[mapped.name].reshape(-1)
             changed = corrupted[mapped.name].reshape(-1)
@@ -223,7 +236,7 @@ class TestInjection:
             banks = mapping.banks_for(mapped)
             diff = np.abs(changed - original) > 1e-7
             changed_banks.update(np.unique(banks[diff]).tolist())
-        assert set(outcome.attacked_banks["conv"]).issubset(changed_banks)
+        assert set(outcome.effects["conv"].attacked_banks).issubset(changed_banks)
         assert len(changed_banks) < geometry.num_banks
 
     def test_hotspot_corrupts_more_weights_than_actuation(self, trained_mnist_model,

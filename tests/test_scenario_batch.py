@@ -19,6 +19,7 @@ from repro.attacks import (
     ActuationAttack,
     AttackOutcome,
     AttackSpec,
+    BlockEffect,
     HotspotAttack,
     corrupted_state_batch,
     corrupted_state_dict,
@@ -48,9 +49,9 @@ def _mixed_outcomes(config, seeds=(0, 1, 2, 3)):
 def _hotspot_outcome(block: str, bank_delta_t: dict[int, float], attacked=None):
     """Hand-placed hotspot outcome (no thermal solver)."""
     outcome = AttackOutcome(spec=AttackSpec("hotspot", block, 0.05))
-    outcome.bank_delta_t[block] = dict(bank_delta_t)
-    outcome.attacked_banks[block] = tuple(
-        attacked if attacked is not None else bank_delta_t
+    outcome.effects[block] = BlockEffect(
+        bank_delta_t=dict(bank_delta_t),
+        attacked_banks=tuple(attacked if attacked is not None else bank_delta_t),
     )
     return outcome
 
@@ -188,7 +189,7 @@ class TestHotspotEdgeCases:
         delta = _delta_for_channels(config, 1)
         outcome = _hotspot_outcome("conv", {2: delta})
         # Actuate the first two slots of the heated bank.
-        outcome.actuation_slots["conv"] = np.array(
+        outcome.effect("conv").slots_off = np.array(
             [2 * geometry.cols, 2 * geometry.cols + 1]
         )
         self._assert_paths_agree(model, mapping, [outcome])
