@@ -1,0 +1,54 @@
+"""Benchmark: stacked vs serial variant-grid training + checkpoint cache.
+
+Times the paper's default 11-variant mitigation grid through the serial
+reference (one ``Trainer.fit`` per variant) and the variant-stacked training
+path (one stacked forward/backward per data batch for all variants), checks
+that the two produce identical per-variant accuracies and weights, measures
+the warm-vs-cold checkpoint-cache pipeline, and emits ``BENCH_training.json``.
+
+Run directly (``python benchmarks/bench_training.py [output.json]``) or via
+the CLI (``python -m repro bench --suite training``); a pytest-benchmark
+entry point is provided for the opt-in benchmark suite.  The acceptance
+floors are: strict stacked/serial equivalence, a warm checkpoint-cache
+pipeline at >=3x over retraining (in practice two orders of magnitude), and
+a warm study pass performing zero training steps.
+"""
+
+from __future__ import annotations
+
+import sys
+
+DEFAULT_OUTPUT = "BENCH_training.json"
+
+
+def test_training_speedup(benchmark):
+    """Stacked-grid equivalence + pipeline speedup (opt-in bench suite)."""
+    from repro.analysis.training_bench import run_training_bench
+
+    results = benchmark.pedantic(
+        lambda: run_training_bench(output=DEFAULT_OUTPUT),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["stacked_speedup"] = results["speedup_stacked_vs_serial"]
+    benchmark.extra_info["pipeline_speedup"] = results["speedup_pipeline_warm_cache"]
+    assert results["equivalent_within_tol"]
+    assert results["checkpoint_cache"]["warm_training_steps"] == 0
+    assert results["speedup_pipeline_warm_cache"] >= 3.0
+
+
+def main(argv: list[str]) -> int:
+    from repro.analysis.training_bench import (
+        format_training_bench_report,
+        run_training_bench,
+    )
+
+    output = argv[0] if argv else DEFAULT_OUTPUT
+    results = run_training_bench(output=output)
+    print(format_training_bench_report(results))
+    print(f"\nwrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

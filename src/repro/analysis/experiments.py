@@ -314,12 +314,19 @@ def _run_fig7_grid(
 
 def _run_fig8(
     model_names: tuple[str, ...] = ("cnn_mnist",),
+    stacked_training: bool = True,
+    checkpoint_cache: bool = False,
     seed: int = 0,
 ) -> dict:
     from repro.analysis.mitigation_analysis import MitigationAnalysisConfig, MitigationStudy
 
     study = MitigationStudy(
-        MitigationAnalysisConfig.quick(model_names=tuple(model_names), seed=seed)
+        MitigationAnalysisConfig.quick(
+            model_names=tuple(model_names),
+            stacked_training=stacked_training,
+            checkpoint_cache=checkpoint_cache,
+            seed=seed,
+        )
     )
     result = study.run()
     return {
@@ -336,13 +343,18 @@ def _run_fig8_variant(
     fractions: tuple[float, ...] = (0.05, 0.10),
     num_placements: int = 2,
     kind_params: dict | None = None,
+    checkpoint_cache: bool = False,
     seed: int = 0,
 ) -> dict:
     """Train and evaluate one mitigation variant (engine/sweep unit of work).
 
     The variant faces the same pre-sampled attack grid as every other variant
     with the same sweep axes, so per-variant records assembled by a campaign
-    are directly comparable (as in the paper's Fig. 8 box plots).
+    are directly comparable (as in the paper's Fig. 8 box plots).  With
+    ``checkpoint_cache`` the trained model is loaded from / stored to the
+    content-addressed checkpoint store — the same addresses
+    :class:`MitigationStudy` uses, so ``python -m repro train`` pre-warms
+    whole sweeps.
     """
     import numpy as np
 
@@ -355,26 +367,48 @@ def _run_fig8_variant(
     )
     from repro.attacks.hotspot import HotspotAttackConfig
     from repro.attacks.scenario import generate_scenarios, sample_outcome
-    from repro.mitigation.robust_training import train_variant, variant_spec_from_name
+    from repro.mitigation.robust_training import (
+        load_cached_variant,
+        store_variant_checkpoint,
+        train_variant,
+        variant_spec_from_name,
+    )
     from repro.nn.training import TrainingConfig
 
+    study = MitigationStudy(
+        MitigationAnalysisConfig(
+            model_names=(model,), seed=seed, checkpoint_cache=checkpoint_cache
+        )
+    )
     split_key = (model, seed)
     if split_key not in _FIG8_SPLITS:
-        config = MitigationAnalysisConfig(model_names=(model,), seed=seed)
-        _FIG8_SPLITS[split_key] = MitigationStudy(config).prepare_split(model)
+        _FIG8_SPLITS[split_key] = study.prepare_split(model)
     split = _FIG8_SPLITS[split_key]
 
     variant_key = (model, variant, seed)
     if variant_key not in _FIG8_VARIANTS:
         defaults = _WORKLOAD_DEFAULTS[model]
         base_config = TrainingConfig(seed=seed, **dict(defaults["training"]))
-        _FIG8_VARIANTS[variant_key] = train_variant(
+        spec = variant_spec_from_name(variant)
+        cache = study.checkpoint_cache()
+        trained = load_cached_variant(
+            cache,
+            study.checkpoint_key(model, spec),
             model,
-            variant_spec_from_name(variant),
-            split,
+            spec,
             base_config,
             model_kwargs=dict(defaults["model_kwargs"]),
         )
+        if trained is None:
+            trained = train_variant(
+                model,
+                spec,
+                split,
+                base_config,
+                model_kwargs=dict(defaults["model_kwargs"]),
+            )
+            store_variant_checkpoint(cache, study.checkpoint_key(model, spec), trained)
+        _FIG8_VARIANTS[variant_key] = trained
     trained = _FIG8_VARIANTS[variant_key]
 
     accelerator = AcceleratorConfig.scaled_config()
@@ -462,12 +496,19 @@ def _run_signal_mc(
 
 def _run_fig9(
     model_names: tuple[str, ...] = ("cnn_mnist",),
+    stacked_training: bool = True,
+    checkpoint_cache: bool = False,
     seed: int = 0,
 ) -> dict:
     from repro.analysis.mitigation_analysis import MitigationAnalysisConfig, MitigationStudy
 
     study = MitigationStudy(
-        MitigationAnalysisConfig.quick(model_names=tuple(model_names), seed=seed)
+        MitigationAnalysisConfig.quick(
+            model_names=tuple(model_names),
+            stacked_training=stacked_training,
+            checkpoint_cache=checkpoint_cache,
+            seed=seed,
+        )
     )
     result = study.run()
     return {
@@ -610,7 +651,12 @@ EXPERIMENTS: dict[str, ExperimentDescriptor] = {
         modules=("repro.analysis.mitigation_analysis", "repro.mitigation"),
         bench_target="benchmarks/bench_fig8_variants.py",
         runner=_run_fig8,
-        default_params=_params(model_names=("cnn_mnist",), seed=0),
+        default_params=_params(
+            model_names=("cnn_mnist",),
+            stacked_training=True,
+            checkpoint_cache=False,
+            seed=0,
+        ),
     ),
     "fig8_variant": ExperimentDescriptor(
         experiment_id="fig8_variant",
@@ -627,6 +673,7 @@ EXPERIMENTS: dict[str, ExperimentDescriptor] = {
             fractions=(0.05, 0.10),
             num_placements=2,
             kind_params=None,
+            checkpoint_cache=False,
             seed=0,
         ),
         attack_kind_params=("kinds",),
@@ -654,7 +701,12 @@ EXPERIMENTS: dict[str, ExperimentDescriptor] = {
         modules=("repro.analysis.mitigation_analysis", "repro.mitigation.selection"),
         bench_target="benchmarks/bench_fig9_robust_vs_original.py",
         runner=_run_fig9,
-        default_params=_params(model_names=("cnn_mnist",), seed=0),
+        default_params=_params(
+            model_names=("cnn_mnist",),
+            stacked_training=True,
+            checkpoint_cache=False,
+            seed=0,
+        ),
     ),
     "ablation_mitigation": ExperimentDescriptor(
         experiment_id="ablation_mitigation",

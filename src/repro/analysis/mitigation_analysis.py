@@ -24,7 +24,11 @@ from repro.mitigation.robust_training import (
     VariantResult,
     VariantSpec,
     default_variant_grid,
+    load_cached_variant,
+    store_variant_checkpoint,
     train_variant_grid,
+    train_variant_grid_stacked,
+    variant_checkpoint_key,
 )
 from repro.mitigation.selection import RobustnessScore, select_most_robust
 from repro.nn.models.registry import MODEL_DATASETS
@@ -84,6 +88,19 @@ class MitigationAnalysisConfig:
         forwards instead of one test-set pass per scenario.
     scenario_chunk:
         Scenarios per stacked forward pass (``None``: memory-aware auto).
+    stacked_training:
+        Train the whole variant grid through the variant-stacked
+        forward/backward path (one stacked pass per data batch for all
+        variants) instead of one :class:`Trainer.fit` per variant.  The two
+        paths are numerically equivalent (property-tested); stacked is the
+        fast default.
+    checkpoint_cache:
+        Consult (and fill) the content-addressed trained-model store before
+        training: variants whose checkpoint exists are loaded with **zero
+        training steps**.  Pre-warm with ``python -m repro train``.
+    checkpoint_dir:
+        Checkpoint store location (``None``: ``REPRO_CHECKPOINT_DIR`` or
+        ``.repro-cache/checkpoints``).
     """
 
     model_names: Sequence[str] = ("cnn_mnist", "resnet18", "vgg16_variant")
@@ -100,6 +117,9 @@ class MitigationAnalysisConfig:
     test_fraction: float = 0.25
     scenario_batch: bool = True
     scenario_chunk: int | None = None
+    stacked_training: bool = True
+    checkpoint_cache: bool = False
+    checkpoint_dir: str | None = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.num_placements, "num_placements")
@@ -181,6 +201,9 @@ class MitigationStudyResult:
     best_variant: dict[str, str] = field(default_factory=dict)
     variant_scores: dict[str, list[RobustnessScore]] = field(default_factory=dict)
     comparison: list[RobustComparisonRow] = field(default_factory=list)
+    #: Per-model training accounting: variants trained vs loaded from the
+    #: checkpoint cache, and the optimizer steps actually performed.
+    training_stats: dict[str, dict] = field(default_factory=dict)
 
     def distributions_for(self, model: str) -> list[VariantDistribution]:
         return [d for d in self.distributions if d.model == model]
@@ -194,6 +217,8 @@ class MitigationStudy:
 
     def __init__(self, config: MitigationAnalysisConfig | None = None):
         self.config = config or MitigationAnalysisConfig()
+        #: Per-model accounting of the most recent ``train_variants`` calls.
+        self.last_training_stats: dict[str, dict] = {}
 
     # ---------------------------------------------------------------- setup
     def prepare_split(self, model_name: str) -> DatasetSplit:
@@ -207,17 +232,100 @@ class MitigationStudy:
         )
         return train_test_split(dataset, self.config.test_fraction, seed=self.config.seed + 1)
 
-    def train_variants(self, model_name: str, split: DatasetSplit) -> list[VariantResult]:
-        """Train the variant grid for one workload."""
+    def checkpoint_cache(self):
+        """The trained-model store, or ``None`` when caching is disabled."""
+        if not self.config.checkpoint_cache:
+            return None
+        from repro.engine.checkpoints import CheckpointCache
+
+        return CheckpointCache(self.config.checkpoint_dir)
+
+    def checkpoint_key(self, model_name: str, spec: VariantSpec) -> dict:
+        """Content-address payload for one trained variant of this study."""
         defaults = _WORKLOAD_DEFAULTS[model_name]
         base_config = TrainingConfig(seed=self.config.seed, **dict(defaults["training"]))
-        return train_variant_grid(
+        return variant_checkpoint_key(
             model_name,
-            split,
+            spec,
             base_config,
-            variants=self.config.variant_grid(),
             model_kwargs=dict(defaults["model_kwargs"]),
+            dataset={
+                "dataset": MODEL_DATASETS[model_name],
+                "num_samples": int(defaults["num_samples"]),
+                "dataset_kwargs": dict(defaults["dataset_kwargs"]),
+                "seed": self.config.seed,
+                "test_fraction": self.config.test_fraction,
+            },
         )
+
+    def train_variants(self, model_name: str, split: DatasetSplit) -> list[VariantResult]:
+        """Train (or load from the checkpoint cache) the variant grid.
+
+        Cached variants are restored with zero training steps; the remaining
+        grid members train together — through the variant-stacked path when
+        ``config.stacked_training`` is set, else serially — and their fresh
+        checkpoints are stored back.  Accounting lands in
+        ``self.last_training_stats[model_name]``.
+        """
+        defaults = _WORKLOAD_DEFAULTS[model_name]
+        base_config = TrainingConfig(seed=self.config.seed, **dict(defaults["training"]))
+        model_kwargs = dict(defaults["model_kwargs"])
+        grid = self.config.variant_grid()
+        cache = self.checkpoint_cache()
+        results: list[VariantResult | None] = [None] * len(grid)
+        missing = list(range(len(grid)))
+        if cache is not None:
+            missing = []
+            for index, spec in enumerate(grid):
+                loaded = load_cached_variant(
+                    cache,
+                    self.checkpoint_key(model_name, spec),
+                    model_name,
+                    spec,
+                    base_config,
+                    model_kwargs=model_kwargs,
+                )
+                if loaded is None:
+                    missing.append(index)
+                else:
+                    results[index] = loaded
+        training_steps = 0
+        if missing:
+            subset = [grid[index] for index in missing]
+            trainer_fn = (
+                train_variant_grid_stacked
+                if self.config.stacked_training
+                else train_variant_grid
+            )
+            trained = trainer_fn(
+                model_name,
+                split,
+                base_config,
+                variants=subset,
+                model_kwargs=model_kwargs,
+            )
+            # The trainers report their real optimizer-step counts: the
+            # stacked pass advances the whole sub-grid per step (every result
+            # shares one count), the serial path sums one fit per variant.
+            steps = [int(result.extras.get("training_steps", 0)) for result in trained]
+            training_steps = (
+                max(steps, default=0)
+                if self.config.stacked_training
+                else sum(steps)
+            )
+            for index, result in zip(missing, trained):
+                results[index] = result
+                store_variant_checkpoint(
+                    cache, self.checkpoint_key(model_name, result.spec), result
+                )
+        self.last_training_stats[model_name] = {
+            "variants": len(grid),
+            "checkpoint_hits": len(grid) - len(missing),
+            "trained": len(missing),
+            "training_steps": training_steps,
+            "stacked_training": bool(self.config.stacked_training),
+        }
+        return [result for result in results if result is not None]
 
     # ------------------------------------------------------------------ run
     def run(self) -> MitigationStudyResult:
@@ -246,6 +354,9 @@ class MitigationStudy:
         for model_name in self.config.model_names:
             split = self.prepare_split(model_name)
             variants = self.train_variants(model_name, split)
+            result.training_stats[model_name] = dict(
+                self.last_training_stats.get(model_name, {})
+            )
             accuracy_by_variant: dict[str, np.ndarray] = {}
             for variant in variants:
                 engine = AttackedInferenceEngine(

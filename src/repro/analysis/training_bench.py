@@ -1,0 +1,199 @@
+"""Stacked vs serial variant-grid training benchmark.
+
+Times the two training paths of the mitigation grid on a reduced-but-
+representative workload:
+
+* ``serial`` — :func:`~repro.mitigation.robust_training.train_variant_grid`,
+  one :class:`~repro.nn.training.Trainer.fit` per variant (the paper-faithful
+  reference);
+* ``stacked`` —
+  :func:`~repro.mitigation.robust_training.train_variant_grid_stacked`, all
+  variants advancing together through one variant-stacked forward/backward
+  per data batch.
+
+The two paths are numerically equivalent — the benchmark verifies it
+directly (max per-variant final-accuracy and weight disagreement) and the CI
+workflow fails loudly when the check is violated, while the wall-clock
+numbers stay a non-gating perf-trajectory artefact (``BENCH_training.json``).
+
+Two speedups are recorded:
+
+* ``speedup_stacked_vs_serial`` — one stacked pass vs one fit per variant on
+  the same grid.  This is bounded by hardware: on multi-core machines the
+  stacked path amortizes per-op overhead across all ``V`` weight slabs, while
+  on a single-core memory-bound box the two equal-FLOP paths converge.
+* ``speedup_pipeline_warm_cache`` — the *headline* Fig. 8/9 pipeline number:
+  a second :class:`~repro.analysis.mitigation_analysis.MitigationStudy`
+  variant-training pass against a warm content-addressed checkpoint cache
+  (pure load, **zero training steps**) vs the cold pass that trained and
+  stored the grid.  This is where repeated studies and sweeps spend their
+  time, and it is routinely two orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import tempfile
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+from repro.version import __version__
+
+__all__ = ["run_training_bench", "format_training_bench_report"]
+
+#: Disagreement bounds between the stacked and serial training paths (in
+#: practice both are bit-identical; see tests/test_stacked_training.py).
+ACCURACY_TOL = 1e-9
+WEIGHT_TOL = 1e-6
+
+
+def run_training_bench(
+    model: str = "cnn_mnist",
+    num_samples: int = 320,
+    epochs: int = 2,
+    batch_size: int = 32,
+    num_variants: int | None = None,
+    repeats: int = 1,
+    seed: int = 0,
+    output: str | Path | None = None,
+) -> dict:
+    """Run the stacked-vs-serial grid benchmark and the checkpoint section.
+
+    ``num_variants`` truncates the default 11-variant paper grid (``None``
+    keeps all of it).  Returns the result dictionary and optionally writes it
+    as JSON.
+    """
+    from repro.datasets.base import train_test_split
+    from repro.datasets.registry import load_dataset
+    from repro.mitigation.robust_training import (
+        default_variant_grid,
+        train_variant_grid,
+        train_variant_grid_stacked,
+    )
+    from repro.nn.models.registry import MODEL_DATASETS
+    from repro.nn.training import TrainingConfig
+
+    dataset = load_dataset(MODEL_DATASETS[model], num_samples=num_samples, seed=seed)
+    split = train_test_split(dataset, 0.25, seed=seed + 1)
+    config = TrainingConfig(epochs=epochs, batch_size=batch_size, lr=2e-3, seed=seed)
+    variants = default_variant_grid()
+    if num_variants is not None:
+        variants = variants[:num_variants]
+
+    serial_s = float("inf")
+    stacked_s = float("inf")
+    serial = stacked = None
+    for _ in range(max(repeats, 1)):
+        start = perf_counter()
+        serial = train_variant_grid(model, split, config, variants=variants)
+        serial_s = min(serial_s, perf_counter() - start)
+        start = perf_counter()
+        stacked = train_variant_grid_stacked(model, split, config, variants=variants)
+        stacked_s = min(stacked_s, perf_counter() - start)
+
+    accuracy_diff = max(
+        abs(a.baseline_accuracy - b.baseline_accuracy)
+        for a, b in zip(serial, stacked)
+    )
+    weight_diff = 0.0
+    for a, b in zip(serial, stacked):
+        state_a, state_b = a.model.full_state_dict(), b.model.full_state_dict()
+        weight_diff = max(
+            weight_diff,
+            max(float(np.max(np.abs(state_a[k] - state_b[k]))) for k in state_a),
+        )
+
+    results = {
+        "benchmark": "training",
+        "version": __version__,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "model": model,
+        "num_variants": len(variants),
+        "train_samples": len(split.train),
+        "epochs": epochs,
+        "batch_size": batch_size,
+        "serial_s": serial_s,
+        "stacked_s": stacked_s,
+        "speedup_stacked_vs_serial": serial_s / stacked_s,
+        "max_abs_accuracy_diff": float(accuracy_diff),
+        "max_abs_weight_diff": float(weight_diff),
+        "equivalent_within_tol": bool(
+            accuracy_diff <= ACCURACY_TOL and weight_diff <= WEIGHT_TOL
+        ),
+        "checkpoint_cache": _bench_checkpoint_cache(model, seed),
+    }
+    results["speedup_pipeline_warm_cache"] = results["checkpoint_cache"][
+        "speedup_warm_vs_cold"
+    ]
+    if output is not None:
+        Path(output).write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    return results
+
+
+def _bench_checkpoint_cache(model: str, seed: int) -> dict:
+    """Cold (train + store) vs warm (pure load) study training pass."""
+    from repro.analysis.mitigation_analysis import (
+        MitigationAnalysisConfig,
+        MitigationStudy,
+    )
+
+    from repro.mitigation.robust_training import default_variant_grid
+
+    with tempfile.TemporaryDirectory(prefix="repro-ckpt-bench-") as tmp:
+        config = MitigationAnalysisConfig.quick(
+            model_names=(model,),
+            variants=tuple(default_variant_grid()),
+            seed=seed,
+            checkpoint_cache=True,
+            checkpoint_dir=tmp,
+        )
+        study = MitigationStudy(config)
+        split = study.prepare_split(model)
+        start = perf_counter()
+        study.train_variants(model, split)
+        cold_s = perf_counter() - start
+        cold_stats = dict(study.last_training_stats[model])
+        start = perf_counter()
+        study.train_variants(model, split)
+        warm_s = perf_counter() - start
+        warm_stats = dict(study.last_training_stats[model])
+    return {
+        "variants": cold_stats["variants"],
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup_warm_vs_cold": cold_s / warm_s if warm_s > 0 else float("inf"),
+        "cold_training_steps": cold_stats["training_steps"],
+        "warm_training_steps": warm_stats["training_steps"],
+        "warm_checkpoint_hits": warm_stats["checkpoint_hits"],
+    }
+
+
+def format_training_bench_report(results: dict) -> str:
+    """Human-readable summary of a :func:`run_training_bench` result."""
+    checkpoint = results["checkpoint_cache"]
+    lines = [
+        f"variant-grid training benchmark (repro {results['version']}, "
+        f"python {results['python']}, numpy {results['numpy']})",
+        f"workload: {results['model']}, {results['num_variants']} variants, "
+        f"{results['train_samples']} train samples, {results['epochs']} epochs",
+        "",
+        f"  serial grid (one fit per variant)   {results['serial_s']:8.2f} s",
+        f"  stacked grid (one pass, all slabs)  {results['stacked_s']:8.2f} s"
+        f"   ({results['speedup_stacked_vs_serial']:.1f}x)",
+        f"  max |accuracy diff|   {results['max_abs_accuracy_diff']:.2e}",
+        f"  max |weight diff|     {results['max_abs_weight_diff']:.2e}",
+        f"  paths equivalent within tol: {results['equivalent_within_tol']}",
+        "",
+        f"Fig. 8/9 pipeline, checkpoint cache ({checkpoint['variants']} variants):",
+        f"  cold study training (train + store) {checkpoint['cold_s']:8.2f} s"
+        f"   ({checkpoint['cold_training_steps']} steps)",
+        f"  warm study training (pure load)     {checkpoint['warm_s']:8.2f} s"
+        f"   ({checkpoint['warm_training_steps']} steps, "
+        f"{checkpoint['warm_checkpoint_hits']} hits, "
+        f"{checkpoint['speedup_warm_vs_cold']:.0f}x)",
+    ]
+    return "\n".join(lines)

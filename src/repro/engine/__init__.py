@@ -9,6 +9,9 @@ scalable orchestration layer:
   deterministic per-run seeding.
 * :mod:`repro.engine.cache` — content-addressed on-disk result store keyed
   by spec fingerprint + library version.
+* :mod:`repro.engine.checkpoints` — content-addressed trained-model store
+  (full parameter + buffer state) consulted by the mitigation studies and
+  pre-warmed by ``python -m repro train``.
 * :mod:`repro.engine.records` — structured :class:`RunRecord` results with
   timing and provenance metadata.
 * :mod:`repro.engine.campaign` — the high-level :class:`Campaign` API tying
@@ -18,6 +21,12 @@ scalable orchestration layer:
 
 from repro.engine.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.engine.campaign import Campaign, CampaignResult, ProgressEvent
+from repro.engine.checkpoints import (
+    DEFAULT_CHECKPOINT_DIR,
+    CheckpointCache,
+    ModelCheckpoint,
+    default_checkpoint_dir,
+)
 from repro.engine.executor import (
     ProcessPoolRunExecutor,
     SerialExecutor,
@@ -34,6 +43,10 @@ __all__ = [
     "ProgressEvent",
     "DEFAULT_CACHE_DIR",
     "ResultCache",
+    "DEFAULT_CHECKPOINT_DIR",
+    "CheckpointCache",
+    "ModelCheckpoint",
+    "default_checkpoint_dir",
     "RunRecord",
     "RunSpec",
     "SweepSpec",

@@ -12,14 +12,22 @@ Subcommands
 ``sweep <experiment_id>``
     Expand a parameter sweep (``--grid``/``--zip``/``--set``/``--seeds``)
     and run it through the serial or process-pool executor with caching.
+``train``
+    Pre-warm the trained-model checkpoint cache: train mitigation variant
+    grids (stacked by default) and store every trained model
+    content-addressed, so later ``fig8``/``fig9``/``fig8_variant`` runs and
+    :class:`MitigationStudy` instances load instead of re-train.
 ``report``
     Summarize the records accumulated in the result cache, including
-    min/mean/max per-run wall time per experiment.
+    min/mean/max per-run wall time per experiment, plus the trained-model
+    checkpoint store (entries, size, hits).
 ``bench``
     Run the benchmark suites: ``--suite signal`` (seed object path vs
     vectorized array-core, ``BENCH_signal_core.json``), ``--suite scenario``
     (per-scenario vs scenario-batched attacked inference,
-    ``BENCH_scenario_batch.json``) or ``--suite all``.
+    ``BENCH_scenario_batch.json``), ``--suite training`` (stacked vs serial
+    variant-grid training + checkpoint-cache pipeline,
+    ``BENCH_training.json``) or ``--suite all``.
 
 Parameter values are parsed as JSON when possible (``0.05`` → float,
 ``true`` → bool, ``[1,2]`` → list) and fall back to plain strings, so
@@ -166,6 +174,30 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--quiet", "-q", action="store_true", help="no per-point progress")
     add_cache_args(sweep)
 
+    train = sub.add_parser(
+        "train", help="pre-warm the trained-model checkpoint cache"
+    )
+    train.add_argument(
+        "models", nargs="*", default=["cnn_mnist"],
+        help="workload models to train (default: cnn_mnist)",
+    )
+    train.add_argument(
+        "--variants", default="all", metavar="V1,V2,..",
+        help="variant names ('all': the paper's 11-variant grid; "
+             "e.g. Original,L2_reg,l2+n3)",
+    )
+    train.add_argument("--seed", type=int, default=0, help="study master seed")
+    train.add_argument(
+        "--serial", action="store_true",
+        help="train one variant at a time instead of the stacked grid pass",
+    )
+    train.add_argument(
+        "--checkpoint-dir", default=None,
+        help="checkpoint store (env: REPRO_CHECKPOINT_DIR; "
+             "default: .repro-cache/checkpoints)",
+    )
+    train.add_argument("--json", action="store_true", help="print the summary as JSON")
+
     report = sub.add_parser("report", help="summarize cached campaign records")
     report.add_argument("--experiment", default=None, help="restrict to one experiment id")
     report.add_argument("--json", action="store_true", help="print the summary as JSON")
@@ -174,14 +206,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR),
         help="result-cache directory (env: REPRO_CACHE_DIR)",
     )
+    report.add_argument(
+        "--checkpoint-dir", default=None,
+        help="checkpoint store to summarize (env: REPRO_CHECKPOINT_DIR)",
+    )
 
     bench = sub.add_parser(
         "bench", help="run the performance benchmark suites"
     )
     bench.add_argument(
-        "--suite", choices=("signal", "scenario", "all"), default="signal",
+        "--suite", choices=("signal", "scenario", "training", "all"), default="signal",
         help="signal: array-core vs seed object path; scenario: batched vs "
-             "per-scenario attacked inference (default: signal)",
+             "per-scenario attacked inference; training: stacked vs serial "
+             "variant-grid training + checkpoint cache (default: signal)",
     )
     bench.add_argument(
         "--matvec-size", type=int, default=64, help="[signal] matrix-vector operand size"
@@ -202,6 +239,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--mixed-placements", type=int, default=3,
         help="[scenario] placements per mixed-grid point",
+    )
+    bench.add_argument(
+        "--train-samples", type=int, default=320,
+        help="[training] dataset size for the variant-grid comparison",
+    )
+    bench.add_argument(
+        "--train-epochs", type=int, default=2,
+        help="[training] epochs for the variant-grid comparison",
     )
     bench.add_argument(
         "--repeats", type=int, default=None,
@@ -349,6 +394,64 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if result.failures else 0
 
 
+def _cmd_train(args: argparse.Namespace) -> int:
+    """Pre-warm the trained-model checkpoint cache for the given workloads."""
+    from time import perf_counter
+
+    from repro.analysis.mitigation_analysis import MitigationAnalysisConfig, MitigationStudy
+    from repro.mitigation.robust_training import variant_spec_from_name
+
+    if args.variants == "all":
+        variants = None  # the study resolves this to the default 11-variant grid
+    else:
+        try:
+            variants = tuple(
+                variant_spec_from_name(name)
+                for name in args.variants.split(",")
+                if name
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    summary: dict[str, dict] = {}
+    for model in args.models:
+        config = MitigationAnalysisConfig(
+            model_names=(model,),
+            variants=variants,
+            seed=args.seed,
+            stacked_training=not args.serial,
+            checkpoint_cache=True,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+        study = MitigationStudy(config)
+        try:
+            split = study.prepare_split(model)
+        except KeyError:
+            print(f"error: unknown workload model {model!r}", file=sys.stderr)
+            return 1
+        start = perf_counter()
+        study.train_variants(model, split)
+        stats = dict(study.last_training_stats[model])
+        stats["duration_s"] = round(perf_counter() - start, 3)
+        summary[model] = stats
+        if not args.json:
+            print(
+                f"{model}: {stats['variants']} variants — "
+                f"{stats['checkpoint_hits']} loaded from cache, "
+                f"{stats['trained']} trained "
+                f"({'stacked' if stats['stacked_training'] else 'serial'}, "
+                f"{stats['training_steps']} steps) in {stats['duration_s']:.2f}s"
+            )
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        from repro.engine.checkpoints import CheckpointCache
+
+        cache = CheckpointCache(args.checkpoint_dir)
+        print(f"checkpoint store: {cache.root}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import format_table
 
@@ -372,33 +475,67 @@ def _cmd_report(args: argparse.Namespace) -> int:
         }
         for experiment_id, times in durations.items()
     }
+    checkpoints = _checkpoint_report(args.checkpoint_dir)
     if args.json:
-        print(json.dumps(per_experiment, indent=2, sort_keys=True))
+        print(json.dumps(
+            {"experiments": per_experiment, "checkpoints": checkpoints},
+            indent=2, sort_keys=True,
+        ))
         return 0
     if not per_experiment:
         print(f"no cached records under {cache.root}")
-        return 0
-    rows = [
-        (
-            experiment_id,
-            stats["records"],
-            f"{stats['total_duration_s']:.2f}",
-            f"{stats['min_duration_s']:.3f}",
-            f"{stats['mean_duration_s']:.3f}",
-            f"{stats['max_duration_s']:.3f}",
-            stats["last_run"] or "-",
-        )
-        for experiment_id, stats in sorted(per_experiment.items())
-    ]
-    print(format_table(
-        ("experiment", "records", "compute_s", "min_s", "mean_s", "max_s", "last_run"),
-        rows,
-    ))
+    else:
+        rows = [
+            (
+                experiment_id,
+                stats["records"],
+                f"{stats['total_duration_s']:.2f}",
+                f"{stats['min_duration_s']:.3f}",
+                f"{stats['mean_duration_s']:.3f}",
+                f"{stats['max_duration_s']:.3f}",
+                stats["last_run"] or "-",
+            )
+            for experiment_id, stats in sorted(per_experiment.items())
+        ]
+        print(format_table(
+            ("experiment", "records", "compute_s", "min_s", "mean_s", "max_s", "last_run"),
+            rows,
+        ))
+    if checkpoints:
+        rows = [
+            (
+                model,
+                stats["checkpoints"],
+                f"{stats['size_mb']:.2f}",
+                stats["cache_hits"],
+            )
+            for model, stats in sorted(checkpoints.items())
+        ]
+        print()
+        print(format_table(
+            ("model checkpoints", "entries", "size_mb", "cache_hits"), rows
+        ))
     return 0
 
 
+def _checkpoint_report(checkpoint_dir: str | None) -> dict[str, dict]:
+    """Per-model summary of the trained-model checkpoint store."""
+    from repro.engine.checkpoints import CheckpointCache
+
+    cache = CheckpointCache(checkpoint_dir)
+    summary: dict[str, dict] = {}
+    for entry in cache.entries():
+        stats = summary.setdefault(
+            entry["group"], {"checkpoints": 0, "size_mb": 0.0, "cache_hits": 0}
+        )
+        stats["checkpoints"] += 1
+        stats["size_mb"] += entry["size_bytes"] / 1e6
+        stats["cache_hits"] += entry["hits"]
+    return summary
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
-    suites = ("signal", "scenario") if args.suite == "all" else (args.suite,)
+    suites = ("signal", "scenario", "training") if args.suite == "all" else (args.suite,)
     payloads: dict[str, dict] = {}
     reports: list[str] = []
     for suite in suites:
@@ -423,6 +560,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 output=output,
             )
             report = format_bench_report(results)
+        elif suite == "training":
+            from repro.analysis.training_bench import (
+                format_training_bench_report,
+                run_training_bench,
+            )
+
+            results = run_training_bench(
+                model=args.bench_model,
+                num_samples=args.train_samples,
+                epochs=args.train_epochs,
+                repeats=args.repeats if args.repeats is not None else 1,
+                seed=args.seed,
+                output=output,
+            )
+            report = format_training_bench_report(results)
         else:
             from repro.analysis.scenario_batch_bench import (
                 format_scenario_bench_report,
@@ -453,7 +605,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _default_bench_output(suite: str) -> str:
-    return "BENCH_signal_core.json" if suite == "signal" else "BENCH_scenario_batch.json"
+    return {
+        "signal": "BENCH_signal_core.json",
+        "scenario": "BENCH_scenario_batch.json",
+        "training": "BENCH_training.json",
+    }[suite]
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -467,6 +623,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "train":
+            return _cmd_train(args)
         if args.command == "report":
             return _cmd_report(args)
         if args.command == "bench":

@@ -23,7 +23,9 @@ from repro.mitigation.robust_training import (
     default_variant_grid,
     train_variant,
     train_variant_grid,
+    train_variant_grid_stacked,
     variant_spec_from_name,
+    variant_training_config,
 )
 from repro.mitigation.selection import select_most_robust
 
@@ -37,6 +39,8 @@ __all__ = [
     "default_variant_grid",
     "train_variant",
     "train_variant_grid",
+    "train_variant_grid_stacked",
     "variant_spec_from_name",
+    "variant_training_config",
     "select_most_robust",
 ]

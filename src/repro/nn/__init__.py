@@ -33,10 +33,23 @@ from repro.nn.layers import (
     Sigmoid,
     Tanh,
 )
-from repro.nn.losses import CrossEntropyLoss, l2_penalty
+from repro.nn.losses import (
+    CrossEntropyLoss,
+    StackedCrossEntropyLoss,
+    l2_penalty,
+    stacked_l2_penalty,
+)
 from repro.nn.optim import SGD, Adam
-from repro.nn.training import Trainer, TrainingConfig, TrainingHistory, evaluate_accuracy
-from repro.nn.ensemble import num_scenarios, stacked_state
+from repro.nn.training import (
+    StackedTrainer,
+    Trainer,
+    TrainingConfig,
+    TrainingHistory,
+    count_correct,
+    evaluate_accuracies,
+    evaluate_accuracy,
+)
+from repro.nn.ensemble import num_scenarios, stack_state_dicts, stacked_state
 from repro.nn import functional
 from repro.nn import models
 
@@ -58,14 +71,20 @@ __all__ = [
     "Tanh",
     "Sequential",
     "CrossEntropyLoss",
+    "StackedCrossEntropyLoss",
     "l2_penalty",
+    "stacked_l2_penalty",
     "SGD",
     "Adam",
     "Trainer",
+    "StackedTrainer",
     "TrainingConfig",
     "TrainingHistory",
+    "count_correct",
     "evaluate_accuracy",
+    "evaluate_accuracies",
     "stacked_state",
+    "stack_state_dicts",
     "num_scenarios",
     "functional",
     "models",

@@ -19,9 +19,13 @@ whose corrupted rows are all identical (e.g. conv kernels under an FC-only
 attack) are collapsed to a single shared row, so the forward pass stays
 un-replicated until the first genuinely attacked layer.
 
-Ensemble forwards are inference-only: layers drop their backward caches, so
-calling ``backward`` after a stacked forward raises instead of silently
-computing wrong gradients.
+Ensemble forwards loaded this way are inference-only: layers drop their
+backward caches, so calling ``backward`` after a stacked forward raises
+instead of silently computing wrong gradients.  Stacked states loaded as
+*trainable* (``Module.load_stacked_state(..., trainable=True)``) instead run
+cached stacked forwards whose backward accumulates per-variant gradient
+slabs — the variant-grid training path driven by
+:class:`~repro.nn.training.StackedTrainer`.
 """
 
 from __future__ import annotations
@@ -32,7 +36,13 @@ import numpy as np
 
 from repro.nn.module import Module
 
-__all__ = ["stacked_state", "num_scenarios", "fold_scenarios", "unfold_scenarios"]
+__all__ = [
+    "stacked_state",
+    "stack_state_dicts",
+    "num_scenarios",
+    "fold_scenarios",
+    "unfold_scenarios",
+]
 
 
 @contextmanager
@@ -50,6 +60,24 @@ def stacked_state(model: Module, stacked: dict[str, np.ndarray]):
         yield model
     finally:
         model.clear_stacked_state()
+
+
+def stack_state_dicts(states: list[dict[str, np.ndarray]]) -> dict[str, np.ndarray]:
+    """Stack per-variant state dicts into one ``name -> (V, *shape)`` mapping.
+
+    All dictionaries must share the same keys and per-key shapes; the result
+    is ready for :meth:`~repro.nn.module.Module.load_stacked_state`.
+    """
+    if not states:
+        raise ValueError("need at least one state dict to stack")
+    keys = set(states[0])
+    for index, state in enumerate(states[1:], start=1):
+        if set(state) != keys:
+            raise ValueError(
+                f"state dict {index} keys differ from state dict 0: "
+                f"{sorted(keys ^ set(state))}"
+            )
+    return {key: np.stack([state[key] for state in states]) for key in states[0]}
 
 
 def num_scenarios(stacked: dict[str, np.ndarray]) -> int:

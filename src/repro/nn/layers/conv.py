@@ -66,6 +66,8 @@ class Conv2D(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float32)
+        if self.training and self.weight.stacked_trainable:
+            return self._forward_stacked_train(x)
         if x.ndim == 5 or self.weight.stacked is not None:
             return self._forward_ensemble(x)
         if x.ndim != 4 or x.shape[1] != self.in_channels:
@@ -125,15 +127,68 @@ class Conv2D(Module):
                 weight_matrix = stacked.reshape(stacked.shape[0], self.out_channels, -1)
             out = np.matmul(cols, weight_matrix.transpose(0, 2, 1))
         if self.bias is not None:
-            out = out + self.bias.data
+            if self.bias.stacked is not None:
+                out = out + self.bias.stacked[:, None, :]
+            else:
+                out = out + self.bias.data
         lead = out.shape[0]
         return out.reshape(lead, batch, out_h, out_w, self.out_channels).transpose(
+            0, 1, 4, 2, 3
+        )
+
+    def _forward_stacked_train(self, x: np.ndarray) -> np.ndarray:
+        """Variant-stacked training forward over ``(V?, N, C, H, W)`` inputs.
+
+        A shared 4-D input — the raw image batch, identical for every variant
+        (downstream activations are always 5-D in stacked training, even for
+        a single variant) — is unfolded **once** and the patch matrix meets
+        all ``V`` stacked kernels in one batched matmul; since nothing sits
+        upstream of the raw input, :meth:`backward` also skips the (discarded)
+        input gradient for it.  A diverged 5-D input folds the variant axis
+        into the batch axis for the unfold, giving each variant its own patch
+        slab.  Both shapes cache the patch matrix for :meth:`backward`.
+        """
+        stacked = self.weight.stacked
+        variants = stacked.shape[0]
+        if x.ndim not in (4, 5) or x.shape[-3] != self.in_channels:
+            raise ValueError(
+                f"Conv2D expects input (N, {self.in_channels}, H, W) or "
+                f"(V, N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        kh, kw = self.kernel_size
+        weight_matrix = stacked.reshape(variants, self.out_channels, -1)
+        if x.ndim == 4:
+            batch = x.shape[0]
+            cols, out_h, out_w = im2col(x, kh, kw, self.stride, self.padding)
+            out = np.matmul(cols[None], weight_matrix.transpose(0, 2, 1))
+            shared_input = True
+            input_shape = x.shape
+        else:
+            if x.shape[0] != variants:
+                raise ValueError(
+                    f"stacked input has {x.shape[0]} variants, weights have {variants}"
+                )
+            batch = x.shape[1]
+            cols, out_h, out_w = im2col(
+                x.reshape((variants * batch,) + x.shape[2:]),
+                kh, kw, self.stride, self.padding,
+            )
+            cols = cols.reshape(variants, batch * out_h * out_w, -1)
+            out = np.matmul(cols, weight_matrix.transpose(0, 2, 1))
+            shared_input = False
+            input_shape = x.shape
+        if self.bias is not None:
+            out = out + self.bias.stacked[:, None, :]
+        self._cache = ("stacked", cols, shared_input, input_shape, out_h, out_w)
+        return out.reshape(variants, batch, out_h, out_w, self.out_channels).transpose(
             0, 1, 4, 2, 3
         )
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
+        if isinstance(self._cache[0], str):  # "stacked" marker
+            return self._backward_stacked(np.asarray(grad_output, dtype=np.float32))
         cols, input_shape, out_h, out_w = self._cache
         grad_output = np.asarray(grad_output, dtype=np.float32)
         batch = input_shape[0]
@@ -146,6 +201,39 @@ class Conv2D(Module):
         grad_cols = grad_matrix @ weight_matrix
         kh, kw = self.kernel_size
         return col2im(grad_cols, input_shape, kh, kw, self.stride, self.padding)
+
+    def _backward_stacked(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backward of :meth:`_forward_stacked_train`.
+
+        Accumulates one kernel/bias gradient slab per variant and returns the
+        per-variant input gradient ``(V, N, C, H, W)``.  A shared 4-D input
+        is the raw image batch (nothing upstream consumes its gradient), so
+        that case skips the input-gradient matmul/col2im entirely and
+        returns ``None``.
+        """
+        _, cols, shared_input, input_shape, out_h, out_w = self._cache
+        variants = self.weight.stacked.shape[0]
+        batch = input_shape[0] if shared_input else input_shape[1]
+        # (V, N, F, OH, OW) -> (V, N*OH*OW, F)
+        grad_matrix = grad_output.transpose(0, 1, 3, 4, 2).reshape(
+            variants, batch * out_h * out_w, -1
+        )
+        self.weight.stacked_grad += np.matmul(
+            grad_matrix.transpose(0, 2, 1), cols
+        ).reshape(self.weight.stacked.shape)
+        if self.bias is not None:
+            self.bias.stacked_grad += grad_matrix.sum(axis=1)
+        if shared_input:
+            return None
+        weight_matrix = self.weight.stacked.reshape(variants, self.out_channels, -1)
+        grad_cols = np.matmul(grad_matrix, weight_matrix)
+        kh, kw = self.kernel_size
+        folded_shape = (variants * batch,) + tuple(input_shape[2:])
+        grad_input = col2im(
+            grad_cols.reshape(variants * batch * out_h * out_w, -1),
+            folded_shape, kh, kw, self.stride, self.padding,
+        )
+        return grad_input.reshape((variants, batch) + grad_input.shape[1:])
 
     def output_shape(self, input_hw: tuple[int, int]) -> tuple[int, int, int]:
         """Return ``(out_channels, out_h, out_w)`` for an input of ``(h, w)``."""

@@ -23,6 +23,10 @@ class Dropout(Module):
         self.p = check_probability(p, "p")
         self._rng = default_rng(rng)
         self._mask: np.ndarray | None = None
+        #: Per-variant generators for variant-stacked training (one mask slab
+        #: per variant, drawn from that variant's own stream so the stacked
+        #: step matches the serial per-variant step draw-for-draw).
+        self.stacked_rngs: list[np.random.Generator | None] | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float32)
@@ -30,7 +34,14 @@ class Dropout(Module):
             self._mask = None
             return x
         keep = 1.0 - self.p
-        self._mask = (self._rng.random(x.shape) < keep).astype(np.float32) / keep
+        if self.stacked_rngs is not None:
+            mask = np.empty(x.shape, dtype=np.float32)
+            for index, rng in enumerate(self.stacked_rngs):
+                rng = rng if rng is not None else self._rng
+                mask[index] = (rng.random(x.shape[1:]) < keep).astype(np.float32) / keep
+            self._mask = mask
+        else:
+            self._mask = (self._rng.random(x.shape) < keep).astype(np.float32) / keep
         return x * self._mask
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

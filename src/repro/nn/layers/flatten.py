@@ -23,7 +23,9 @@ class Flatten(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float32)
         if x.ndim == 5:
-            self._input_shape = None
+            # Stacked training needs the shape for backward; ensemble
+            # inference forwards stay backward-free.
+            self._input_shape = x.shape if self.training else None
             return x.reshape(*x.shape[:2], -1)
         self._input_shape = x.shape
         return x.reshape(x.shape[0], -1)

@@ -47,9 +47,12 @@ class Linear(Module):
         )
         self.bias = Parameter(init.zeros((out_features,)), kind="bias") if bias else None
         self._cached_input: np.ndarray | None = None
+        self._shared_stacked_input = False
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float32)
+        if self.training and self.weight.stacked_trainable:
+            return self._forward_stacked_train(x)
         if x.ndim == 3 or self.weight.stacked is not None:
             return self._forward_ensemble(x)
         if x.ndim != 2 or x.shape[1] != self.in_features:
@@ -60,6 +63,33 @@ class Linear(Module):
         out = x @ self.weight.data.T
         if self.bias is not None:
             out = out + self.bias.data
+        return out
+
+    def _forward_stacked_train(self, x: np.ndarray) -> np.ndarray:
+        """Variant-stacked training forward: ``(V, N, F) x (V, O, F) -> (V, N, O)``.
+
+        All ``V`` variants contract against their own weight slab in one
+        batched matmul; the cached stacked input lets :meth:`backward`
+        accumulate one gradient slab per variant.  A 2-D input — still shared
+        across variants, i.e. (a paramless transform of) the raw input batch,
+        since every downstream activation in stacked training carries the
+        variant axis — is broadcast to the variant count without copying, and
+        :meth:`backward` skips its (unconsumed) input gradient like
+        :class:`~repro.nn.layers.conv.Conv2D` does for shared 4-D inputs.
+        """
+        stacked = self.weight.stacked
+        if x.ndim not in (2, 3) or x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"Linear expects input (N, {self.in_features}) or "
+                f"(V, N, {self.in_features}), got {x.shape}"
+            )
+        self._shared_stacked_input = x.ndim == 2
+        if x.ndim == 2:
+            x = np.broadcast_to(x[None], (stacked.shape[0],) + x.shape)
+        self._cached_input = x
+        out = np.matmul(x, stacked.transpose(0, 2, 1))
+        if self.bias is not None:
+            out = out + self.bias.stacked[:, None, :]
         return out
 
     def _forward_ensemble(self, x: np.ndarray) -> np.ndarray:
@@ -84,13 +114,26 @@ class Linear(Module):
             lhs = x[None] if x.ndim == 2 else x
             out = np.matmul(lhs, stacked.transpose(0, 2, 1))
         if self.bias is not None:
-            out = out + self.bias.data
+            if self.bias.stacked is not None:
+                out = out + self.bias.stacked[:, None, :]
+            else:
+                out = out + self.bias.data
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cached_input is None:
             raise RuntimeError("backward called before forward")
         grad_output = np.asarray(grad_output, dtype=np.float32)
+        if self._cached_input.ndim == 3:
+            # Variant-stacked backward: one gradient slab per variant.
+            self.weight.stacked_grad += np.matmul(
+                grad_output.transpose(0, 2, 1), self._cached_input
+            )
+            if self.bias is not None:
+                self.bias.stacked_grad += grad_output.sum(axis=1)
+            if self._shared_stacked_input:
+                return None  # nothing trainable sits upstream of a shared input
+            return np.matmul(grad_output, self.weight.stacked)
         self.weight.grad += grad_output.T @ self._cached_input
         if self.bias is not None:
             self.bias.grad += grad_output.sum(axis=0)

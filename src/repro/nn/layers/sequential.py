@@ -38,6 +38,11 @@ class Sequential(Module):
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         for layer in reversed(self.layers):
             grad_output = layer.backward(grad_output)
+            if grad_output is None:
+                # A stacked-training layer consumed a shared (raw) input and
+                # skipped its input gradient; everything further upstream is
+                # a paramless transform of that shared input, so stop here.
+                break
         return grad_output
 
     def __repr__(self) -> str:

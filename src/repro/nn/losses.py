@@ -16,7 +16,19 @@ import numpy as np
 from repro.nn.functional import log_softmax, softmax
 from repro.nn.tensor import Parameter
 
-__all__ = ["CrossEntropyLoss", "l2_penalty"]
+__all__ = ["CrossEntropyLoss", "StackedCrossEntropyLoss", "l2_penalty", "stacked_l2_penalty"]
+
+
+def _smoothed_targets(
+    logits_shape: tuple[int, ...], labels: np.ndarray, label_smoothing: float
+) -> np.ndarray:
+    """One-hot (optionally label-smoothed) targets of shape ``(N, classes)``."""
+    num_classes = logits_shape[-1]
+    target = np.zeros((labels.shape[0], num_classes), dtype=np.float32)
+    target[np.arange(labels.shape[0]), labels] = 1.0
+    if label_smoothing > 0:
+        target = target * (1.0 - label_smoothing) + label_smoothing / num_classes
+    return target
 
 
 class CrossEntropyLoss:
@@ -41,13 +53,7 @@ class CrossEntropyLoss:
             raise ValueError(
                 f"batch mismatch: logits {logits.shape[0]} vs labels {labels.shape[0]}"
             )
-        num_classes = logits.shape[1]
-        target = np.zeros_like(logits)
-        target[np.arange(labels.shape[0]), labels] = 1.0
-        if self.label_smoothing > 0:
-            target = (
-                target * (1.0 - self.label_smoothing) + self.label_smoothing / num_classes
-            )
+        target = _smoothed_targets(logits.shape, labels, self.label_smoothing)
         log_probs = log_softmax(logits, axis=1)
         loss = float(-(target * log_probs).sum(axis=1).mean())
         self._cache = (logits, target)
@@ -62,6 +68,52 @@ class CrossEntropyLoss:
         return (probs - target) / logits.shape[0]
 
     def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        return self.forward(logits, labels)
+
+
+class StackedCrossEntropyLoss:
+    """Cross-entropy over variant-stacked ``(V, N, classes)`` logits.
+
+    ``forward`` returns the per-variant mean losses as a ``(V,)`` vector and
+    ``backward`` the per-variant logit gradients ``(V, N, classes)``, each
+    already divided by the batch size.  Every variant's loss slab is computed
+    with the same operations as :class:`CrossEntropyLoss` applies to a
+    standalone batch, so a stacked training step reproduces the serial
+    per-variant step exactly.
+    """
+
+    def __init__(self, label_smoothing: float = 0.0):
+        if not 0 <= label_smoothing < 1:
+            raise ValueError(f"label_smoothing must be in [0, 1), got {label_smoothing}")
+        self.label_smoothing = float(label_smoothing)
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        logits = np.asarray(logits, dtype=np.float32)
+        labels = np.asarray(labels, dtype=np.int64)
+        if logits.ndim != 3:
+            raise ValueError(
+                f"stacked logits must be 3-D (V, N, classes), got shape {logits.shape}"
+            )
+        if labels.shape[0] != logits.shape[1]:
+            raise ValueError(
+                f"batch mismatch: logits {logits.shape[1]} vs labels {labels.shape[0]}"
+            )
+        target = _smoothed_targets(logits.shape, labels, self.label_smoothing)
+        log_probs = log_softmax(logits, axis=-1)
+        losses = -(target * log_probs).sum(axis=-1).mean(axis=-1)
+        self._cache = (logits, target)
+        return losses.astype(np.float64)
+
+    def backward(self) -> np.ndarray:
+        """Per-variant gradient of each mean loss with respect to its logits."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        logits, target = self._cache
+        probs = softmax(logits, axis=-1)
+        return (probs - target) / logits.shape[1]
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
         return self.forward(logits, labels)
 
 
@@ -85,3 +137,36 @@ def l2_penalty(
         if param.kind in include_kinds:
             total += float(np.sum(param.data.astype(np.float64) ** 2))
     return weight_decay / (2.0 * num_samples) * total
+
+
+def stacked_l2_penalty(
+    parameters: Iterable[Parameter],
+    weight_decays: np.ndarray,
+    num_samples: int = 1,
+    include_kinds: tuple[str, ...] = ("conv", "fc"),
+) -> np.ndarray:
+    """Per-variant :func:`l2_penalty` over variant-stacked parameters.
+
+    ``weight_decays`` carries one lambda per variant; each variant's penalty
+    is accumulated over its own weight slabs with the same float64 reductions
+    as the serial function, so the two agree bitwise.
+    """
+    weight_decays = np.asarray(weight_decays, dtype=np.float64)
+    if num_samples <= 0:
+        raise ValueError(f"num_samples must be positive, got {num_samples}")
+    if np.any(weight_decays < 0):
+        raise ValueError("weight_decays must be non-negative")
+    totals = [0.0] * weight_decays.shape[0]
+    for param in parameters:
+        if param.kind not in include_kinds:
+            continue
+        if param.stacked is None:
+            raise ValueError(f"parameter {param.name!r} carries no stacked value")
+        for index in range(weight_decays.shape[0]):
+            totals[index] += float(np.sum(param.stacked[index].astype(np.float64) ** 2))
+    return np.array(
+        [
+            float(weight_decays[index]) / (2.0 * num_samples) * totals[index]
+            for index in range(weight_decays.shape[0])
+        ]
+    )

@@ -29,6 +29,12 @@ class Module:
     ...         return self.fc.backward(grad)
     """
 
+    #: Names of plain-array state attributes (e.g. batch-norm running
+    #: statistics) that belong to the module's persistent state but are not
+    #: trainable parameters.  Subclasses override this tuple; discovery and
+    #: serialization go through :meth:`named_buffers`.
+    _buffer_names: tuple[str, ...] = ()
+
     def __init__(self) -> None:
         self.training = True
 
@@ -141,8 +147,80 @@ class Module:
         """Total number of scalar parameters."""
         return int(sum(param.size for param in self.parameters()))
 
+    # ---------------------------------------------------------------- buffers
+    def named_buffers(self, prefix: str = "") -> list[tuple[str, np.ndarray]]:
+        """Return ``(dotted_name, array)`` pairs for all state buffers.
+
+        Buffers are the non-trainable arrays declared in ``_buffer_names``
+        (batch-norm running statistics); they complete the parameter state
+        for checkpointing, since :meth:`state_dict` only covers parameters.
+        """
+        result: list[tuple[str, np.ndarray]] = [
+            (f"{prefix}{name}", getattr(self, name)) for name in self._buffer_names
+        ]
+        for key, value in self.__dict__.items():
+            if isinstance(value, Module):
+                result.extend(value.named_buffers(prefix=f"{prefix}{key}."))
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        result.extend(
+                            item.named_buffers(prefix=f"{prefix}{key}.{index}.")
+                        )
+        return result
+
+    def full_state_dict(self) -> dict[str, np.ndarray]:
+        """Parameters *and* buffers as one name→array snapshot (copies).
+
+        This is the complete persistent state of the model: loading it into a
+        freshly built instance reproduces inference exactly, including
+        batch-norm running statistics that :meth:`state_dict` omits.
+        """
+        state = self.state_dict()
+        for name, value in self.named_buffers():
+            state[name] = np.asarray(value).copy()
+        return state
+
+    def load_full_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Inverse of :meth:`full_state_dict`."""
+        buffer_names = {name for name, _ in self.named_buffers()}
+        params_state = {
+            name: value for name, value in state.items() if name not in buffer_names
+        }
+        self.load_state_dict(params_state)
+        missing = sorted(buffer_names - set(state))
+        if missing:
+            raise KeyError(f"full state dict is missing buffer(s): {missing}")
+        buffers = dict(self.named_buffers())
+        for name in buffer_names:
+            value = np.asarray(state[name], dtype=np.float32)
+            if value.shape != buffers[name].shape:
+                raise ValueError(
+                    f"shape mismatch for buffer {name}: expected "
+                    f"{buffers[name].shape}, got {value.shape}"
+                )
+            self._set_buffer(name, value.copy())
+
+    def _set_buffer(self, dotted: str, value: np.ndarray) -> None:
+        """Assign a buffer by its dotted :meth:`named_buffers` name.
+
+        Path segments are attribute names, with numeric segments indexing
+        into list/tuple children (mirroring :meth:`named_buffers` paths such
+        as ``net.layers.3.running_mean``).
+        """
+        target: object = self
+        parts = dotted.split(".")
+        for part in parts[:-1]:
+            if part.isdigit():
+                target = target[int(part)]  # type: ignore[index]
+            else:
+                target = getattr(target, part)
+        setattr(target, parts[-1], value)
+
     # ------------------------------------------------------- stacked weights
-    def load_stacked_state(self, stacked: dict[str, np.ndarray]) -> None:
+    def load_stacked_state(
+        self, stacked: dict[str, np.ndarray], trainable: bool = False
+    ) -> None:
         """Attach per-scenario stacked values ``(S, *shape)`` to parameters.
 
         ``stacked`` may cover any subset of the named parameters (the attack
@@ -154,11 +232,25 @@ class Module:
         scenarios at once (see :mod:`repro.nn.ensemble`); call
         :meth:`clear_stacked_state` (or use the context manager) to return to
         the ordinary single-weight forward.
+
+        With ``trainable=True`` the stacked state becomes the *variant-grid
+        training* state: ``stacked`` must cover **every** named parameter
+        (the optimizer updates whole per-variant weight sets), singleton
+        broadcasting is disallowed, and each parameter gains a
+        ``stacked_grad`` buffer so training-mode forwards cache what their
+        stacked ``backward`` needs.
         """
         params = dict(self.named_parameters())
         unexpected = sorted(set(stacked) - set(params))
         if unexpected:
             raise KeyError(f"stacked state has unknown parameter(s): {unexpected}")
+        if trainable:
+            missing = sorted(set(params) - set(stacked))
+            if missing:
+                raise KeyError(
+                    f"trainable stacked state must cover every parameter; "
+                    f"missing: {missing}"
+                )
         scenario_counts = set()
         for name, value in stacked.items():
             value = np.asarray(value, dtype=np.float32)
@@ -167,19 +259,24 @@ class Module:
                     f"stacked value for {name} must have shape (S, "
                     f"{', '.join(map(str, params[name].data.shape))}), got {value.shape}"
                 )
-            if value.shape[0] != 1:
+            if value.shape[0] != 1 or trainable:
                 scenario_counts.add(value.shape[0])
         if len(scenario_counts) > 1:
             raise ValueError(
                 f"inconsistent scenario counts in stacked state: {sorted(scenario_counts)}"
             )
         for name, value in stacked.items():
-            params[name].stacked = np.asarray(value, dtype=np.float32)
+            param = params[name]
+            param.stacked = np.asarray(value, dtype=np.float32).copy() if trainable else (
+                np.asarray(value, dtype=np.float32)
+            )
+            param.stacked_grad = np.zeros_like(param.stacked) if trainable else None
 
     def clear_stacked_state(self) -> None:
         """Detach every stacked per-scenario value loaded on this module."""
         for param in self.parameters():
             param.stacked = None
+            param.stacked_grad = None
 
     def has_stacked_state(self) -> bool:
         """True when any parameter currently carries a stacked value."""

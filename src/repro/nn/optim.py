@@ -3,6 +3,15 @@
 Both support decoupled ``weight_decay`` applied only to ``conv``/``fc``
 weight tensors, which implements the L2 regularization mitigation from the
 paper (§V.A) during training.
+
+Both optimizers are *stacked-aware*: a parameter carrying a trainable
+stacked value (one weight slab per model variant, see
+:meth:`repro.nn.module.Module.load_stacked_state`) is updated slab-by-slab
+from its ``stacked_grad`` buffer, and ``weight_decay`` may be a ``(V,)``
+array carrying one decay coefficient per variant (the mitigation grid trains
+``Original`` without decay next to the L2-regularized variants in the same
+stacked pass).  Scalar decay on ordinary parameters behaves exactly as
+before.
 """
 
 from __future__ import annotations
@@ -21,16 +30,26 @@ _DECAY_KINDS = ("conv", "fc")
 class Optimizer:
     """Base class holding the parameter list and weight-decay policy."""
 
-    def __init__(self, parameters: Sequence[Parameter], lr: float, weight_decay: float = 0.0):
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float,
+        weight_decay: float | np.ndarray = 0.0,
+    ):
         if lr <= 0:
             raise ValueError(f"lr must be positive, got {lr}")
-        if weight_decay < 0:
+        if np.any(np.asarray(weight_decay) < 0):
             raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
         self.parameters = list(parameters)
         if not self.parameters:
             raise ValueError("optimizer received an empty parameter list")
         self.lr = float(lr)
-        self.weight_decay = float(weight_decay)
+        if isinstance(weight_decay, np.ndarray) or np.ndim(weight_decay) > 0:
+            # Per-variant decay vector; cast to float32 so the decay term is
+            # computed in the same precision as the scalar path.
+            self.weight_decay = np.asarray(weight_decay, dtype=np.float32)
+        else:
+            self.weight_decay = float(weight_decay)
 
     def zero_grad(self) -> None:
         """Reset all parameter gradients."""
@@ -40,11 +59,43 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    @staticmethod
+    def _target(param: Parameter) -> tuple[np.ndarray, np.ndarray]:
+        """The (values, gradient) pair this step updates — stacked when present."""
+        if param.stacked_trainable:
+            return param.stacked, param.stacked_grad
+        return param.data, param.grad
+
     def _decayed_grad(self, param: Parameter) -> np.ndarray:
         """Gradient with the L2 (weight-decay) term added for weight tensors."""
-        if self.weight_decay > 0 and param.kind in _DECAY_KINDS:
-            return param.grad + self.weight_decay * param.data
-        return param.grad
+        data, grad = self._target(param)
+        if param.kind not in _DECAY_KINDS:
+            return grad
+        decay = self.weight_decay
+        if isinstance(decay, np.ndarray):
+            if not np.any(decay > 0):
+                return grad
+            if data.ndim < 1 or data.shape[0] != decay.shape[0]:
+                raise ValueError(
+                    f"per-variant weight_decay has {decay.shape[0]} entries but "
+                    f"parameter {param.name!r} update target has shape {data.shape}"
+                )
+            return grad + decay.reshape((-1,) + (1,) * (data.ndim - 1)) * data
+        if decay > 0:
+            return grad + decay * data
+        return grad
+
+    def _state_for(self, param: Parameter, buffers: list, index: int) -> np.ndarray:
+        """Return (lazily re-allocating) the state buffer matching ``param``.
+
+        Attaching or clearing a trainable stacked value changes the update
+        target's shape; the state buffer is reset in that case, which matches
+        starting a fresh stacked (or unstacked) training run.
+        """
+        target = self._target(param)[0]
+        if buffers[index] is None or buffers[index].shape != target.shape:
+            buffers[index] = np.zeros_like(target)
+        return buffers[index]
 
 
 class SGD(Optimizer):
@@ -55,24 +106,26 @@ class SGD(Optimizer):
         parameters: Sequence[Parameter],
         lr: float = 0.01,
         momentum: float = 0.0,
-        weight_decay: float = 0.0,
+        weight_decay: float | np.ndarray = 0.0,
     ):
         super().__init__(parameters, lr, weight_decay)
         if not 0 <= momentum < 1:
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
         self.momentum = float(momentum)
-        self._velocity = [np.zeros_like(param.data) for param in self.parameters]
+        self._velocity: list[np.ndarray | None] = [None] * len(self.parameters)
 
     def step(self) -> None:
-        for param, velocity in zip(self.parameters, self._velocity):
+        for index, param in enumerate(self.parameters):
             grad = self._decayed_grad(param)
             if self.momentum > 0:
+                velocity = self._state_for(param, self._velocity, index)
                 velocity *= self.momentum
                 velocity += grad
                 update = velocity
             else:
                 update = grad
-            param.data -= self.lr * update
+            data, _ = self._target(param)
+            data -= self.lr * update
 
 
 class Adam(Optimizer):
@@ -84,7 +137,7 @@ class Adam(Optimizer):
         lr: float = 1e-3,
         betas: tuple[float, float] = (0.9, 0.999),
         eps: float = 1e-8,
-        weight_decay: float = 0.0,
+        weight_decay: float | np.ndarray = 0.0,
     ):
         super().__init__(parameters, lr, weight_decay)
         beta1, beta2 = betas
@@ -94,19 +147,22 @@ class Adam(Optimizer):
         self.beta2 = float(beta2)
         self.eps = float(eps)
         self._step_count = 0
-        self._m = [np.zeros_like(param.data) for param in self.parameters]
-        self._v = [np.zeros_like(param.data) for param in self.parameters]
+        self._m: list[np.ndarray | None] = [None] * len(self.parameters)
+        self._v: list[np.ndarray | None] = [None] * len(self.parameters)
 
     def step(self) -> None:
         self._step_count += 1
         bias1 = 1.0 - self.beta1**self._step_count
         bias2 = 1.0 - self.beta2**self._step_count
-        for param, m, v in zip(self.parameters, self._m, self._v):
+        for index, param in enumerate(self.parameters):
             grad = self._decayed_grad(param)
+            m = self._state_for(param, self._m, index)
+            v = self._state_for(param, self._v, index)
             m *= self.beta1
             m += (1.0 - self.beta1) * grad
             v *= self.beta2
             v += (1.0 - self.beta2) * grad**2
             m_hat = m / bias1
             v_hat = v / bias2
-            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            data, _ = self._target(param)
+            data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

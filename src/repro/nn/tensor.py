@@ -31,10 +31,15 @@ class Parameter:
         electronic domain in CrossLight-style accelerators).
 
     A parameter can additionally carry a *stacked* value of shape
-    ``(S, *shape)`` — one weight set per attack scenario — attached via
+    ``(S, *shape)`` — one weight set per attack scenario or per model
+    variant — attached via
     :meth:`repro.nn.module.Module.load_stacked_state`.  While a stacked value
     is present, layers that consume the parameter evaluate all ``S`` weight
-    sets in a single ensemble forward pass (inference only).
+    sets in a single ensemble forward pass.  When the stacked value was
+    loaded as *trainable* the parameter also owns a ``stacked_grad`` buffer
+    of the same shape and the layers run cached stacked forwards whose
+    ``backward`` accumulates one gradient slab per variant (the variant-grid
+    training path); without it, stacked forwards are inference-only.
     """
 
     def __init__(self, data: np.ndarray, name: str = "", kind: str = "other"):
@@ -43,6 +48,7 @@ class Parameter:
         self.name = name
         self.kind = kind
         self.stacked: np.ndarray | None = None
+        self.stacked_grad: np.ndarray | None = None
 
     @property
     def shape(self) -> tuple[int, ...]:
@@ -52,9 +58,16 @@ class Parameter:
     def size(self) -> int:
         return int(self.data.size)
 
+    @property
+    def stacked_trainable(self) -> bool:
+        """True when this parameter trains one weight slab per variant."""
+        return self.stacked is not None and self.stacked_grad is not None
+
     def zero_grad(self) -> None:
-        """Reset the gradient buffer to zero."""
+        """Reset the gradient buffer(s) to zero."""
         self.grad.fill(0.0)
+        if self.stacked_grad is not None:
+            self.stacked_grad.fill(0.0)
 
     def copy(self) -> "Parameter":
         """Return a deep copy (used to snapshot clean weights before attacks)."""

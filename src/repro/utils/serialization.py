@@ -8,6 +8,7 @@ training runs between invocations.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -18,14 +19,25 @@ __all__ = ["save_arrays", "load_arrays", "save_json", "load_json"]
 def save_arrays(path: str | Path, arrays: dict[str, np.ndarray]) -> Path:
     """Save a name→array mapping to a compressed ``.npz`` file.
 
-    Parent directories are created as needed.  Returns the resolved path.
+    Parent directories are created as needed, and the archive is written to a
+    temporary sibling then atomically renamed, so concurrent writers (e.g.
+    process-pool sweep workers filling the checkpoint store) never expose a
+    partially written file.  Returns the resolved path.
     """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(path, **{key: np.asarray(value) for key, value in arrays.items()})
-    # ``savez_compressed`` appends .npz when missing; normalise the return value.
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(
+                handle, **{key: np.asarray(value) for key, value in arrays.items()}
+            )
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
     return path
 
 
@@ -36,10 +48,22 @@ def load_arrays(path: str | Path) -> dict[str, np.ndarray]:
 
 
 def save_json(path: str | Path, payload: dict) -> Path:
-    """Serialize ``payload`` to pretty-printed JSON, converting NumPy scalars."""
+    """Serialize ``payload`` to pretty-printed JSON, converting NumPy scalars.
+
+    The document is written to a temporary sibling then atomically renamed:
+    concurrent writers (checkpoint hit-counter updates from parallel sweep
+    workers, cache records) can interleave without ever leaving a truncated
+    file behind.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=_to_builtin))
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    try:
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True, default=_to_builtin))
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
     return path
 
 

@@ -288,7 +288,7 @@ class TestCli:
         assert cli_main(argv) == 0
         capsys.readouterr()
         assert cli_main(["report", "--json", "--cache-dir", str(tmp_path)]) == 0
-        stats = json.loads(capsys.readouterr().out)["ablation_tuning"]
+        stats = json.loads(capsys.readouterr().out)["experiments"]["ablation_tuning"]
         assert stats["records"] == 3
         assert 0.0 <= stats["min_duration_s"] <= stats["mean_duration_s"]
         assert stats["mean_duration_s"] <= stats["max_duration_s"]
