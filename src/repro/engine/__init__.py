@@ -5,8 +5,10 @@ scalable orchestration layer:
 
 * :mod:`repro.engine.spec` — declarative :class:`RunSpec`/:class:`SweepSpec`
   definitions (Cartesian grids, zipped lists, seed replication).
-* :mod:`repro.engine.executor` — serial and process-pool execution with
-  deterministic per-run seeding.
+* :mod:`repro.engine.executor` — the :class:`RunExecutor` interface with
+  serial and process-pool implementations (deterministic per-run seeding),
+  plus the :class:`StreamExecutor` extension for long-lived shared pools
+  (implemented by the serve daemon's worker pool in :mod:`repro.serve`).
 * :mod:`repro.engine.cache` — content-addressed on-disk result store keyed
   by spec fingerprint + library version.
 * :mod:`repro.engine.checkpoints` — content-addressed trained-model store
@@ -29,7 +31,9 @@ from repro.engine.checkpoints import (
 )
 from repro.engine.executor import (
     ProcessPoolRunExecutor,
+    RunExecutor,
     SerialExecutor,
+    StreamExecutor,
     execute_run,
     make_executor,
     run_all,
@@ -50,6 +54,8 @@ __all__ = [
     "RunRecord",
     "RunSpec",
     "SweepSpec",
+    "RunExecutor",
+    "StreamExecutor",
     "SerialExecutor",
     "ProcessPoolRunExecutor",
     "execute_run",

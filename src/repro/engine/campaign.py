@@ -18,11 +18,7 @@ from time import perf_counter
 from typing import Callable, Sequence
 
 from repro.engine.cache import ResultCache
-from repro.engine.executor import (
-    ProcessPoolRunExecutor,
-    SerialExecutor,
-    make_executor,
-)
+from repro.engine.executor import RunExecutor, make_executor
 from repro.engine.records import RunRecord
 from repro.engine.spec import RunSpec, SweepSpec
 
@@ -85,7 +81,9 @@ class Campaign:
         ``None`` to disable caching entirely.
     workers:
         Executor knob (see :func:`repro.engine.executor.make_executor`):
-        ``None``/``1`` runs serially, larger integers use a process pool.
+        ``None``/``1`` runs serially, larger integers use a process pool, and
+        a :class:`~repro.engine.executor.RunExecutor` instance (e.g. a shared
+        long-lived worker pool) is used as-is.
     progress:
         Optional callback invoked with a :class:`ProgressEvent` after every
         completed point (cache hits included).
@@ -95,7 +93,7 @@ class Campaign:
         self,
         sweep: SweepSpec | Sequence[RunSpec],
         cache: ResultCache | str | Path | None = None,
-        workers: int | str | None = None,
+        workers: int | str | RunExecutor | None = None,
         progress: Callable[[ProgressEvent], None] | None = None,
     ):
         if isinstance(sweep, SweepSpec):
@@ -105,7 +103,7 @@ class Campaign:
         if isinstance(cache, (str, Path)):
             cache = ResultCache(cache)
         self.cache = cache
-        self.executor: SerialExecutor | ProcessPoolRunExecutor = make_executor(workers)
+        self.executor: RunExecutor = make_executor(workers)
         self.progress = progress
 
     # ------------------------------------------------------------------ run

@@ -28,6 +28,19 @@ Subcommands
     ``BENCH_scenario_batch.json``), ``--suite training`` (stacked vs serial
     variant-grid training + checkpoint-cache pipeline,
     ``BENCH_training.json``) or ``--suite all``.
+``serve``
+    Run the persistent campaign service: a durable on-disk job queue, N
+    worker processes shared by every submitted sweep (work-stealing across
+    concurrent campaigns) and the HTTP API (``POST /sweeps``,
+    ``GET /jobs/<id>``, ``GET /results/<id>``, …).  Interrupted campaigns
+    resume from the result cache on restart.
+``submit``
+    Submit a sweep (same ``--grid``/``--zip``/``--set``/``--seeds`` flags as
+    ``sweep``) to a running daemon and, by default, wait streaming progress.
+``jobs``
+    List a daemon's jobs, show/cancel one, or fetch its cached results.
+
+``repro --version`` prints the library version that keys the caches.
 
 Parameter values are parsed as JSON when possible (``0.05`` → float,
 ``true`` → bool, ``[1,2]`` → list) and fall back to plain strings, so
@@ -40,14 +53,19 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
 from typing import Sequence
 
 from repro.engine.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.engine.campaign import Campaign, ProgressEvent
 from repro.engine.spec import RunSpec, SweepSpec
+from repro.version import __version__
 
 __all__ = ["main", "build_parser"]
+
+#: Exit code for a graceful Ctrl-C/SIGTERM stop (128 + SIGINT).
+EXIT_INTERRUPTED = 130
 
 
 # ------------------------------------------------------------------ parsing
@@ -120,6 +138,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="Run and sweep the paper's experiments through the campaign engine.",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}",
+        help="print the library version that keys the result/checkpoint caches",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list registered experiments")
@@ -147,24 +169,27 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", action="store_true", help="print the payload as JSON")
     add_cache_args(run)
 
+    def add_sweep_axis_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("experiment_id")
+        p.add_argument(
+            "--grid", type=parse_axis, action="append", default=[],
+            metavar="NAME=V1,V2,..", help="Cartesian sweep axis (repeatable)",
+        )
+        p.add_argument(
+            "--zip", dest="zipped", type=parse_axis, action="append", default=[],
+            metavar="NAME=V1,V2,..", help="position-wise sweep axis (repeatable)",
+        )
+        p.add_argument(
+            "--set", "-p", dest="params", type=parse_assignment, action="append",
+            default=[], metavar="NAME=VALUE", help="fixed parameter override",
+        )
+        p.add_argument(
+            "--seeds", type=parse_seeds, default=(0,), metavar="S1,S2,..",
+            help="seeds replicated over every point (default: 0)",
+        )
+
     sweep = sub.add_parser("sweep", help="run a parameter sweep")
-    sweep.add_argument("experiment_id")
-    sweep.add_argument(
-        "--grid", type=parse_axis, action="append", default=[],
-        metavar="NAME=V1,V2,..", help="Cartesian sweep axis (repeatable)",
-    )
-    sweep.add_argument(
-        "--zip", dest="zipped", type=parse_axis, action="append", default=[],
-        metavar="NAME=V1,V2,..", help="position-wise sweep axis (repeatable)",
-    )
-    sweep.add_argument(
-        "--set", "-p", dest="params", type=parse_assignment, action="append",
-        default=[], metavar="NAME=VALUE", help="fixed parameter override",
-    )
-    sweep.add_argument(
-        "--seeds", type=parse_seeds, default=(0,), metavar="S1,S2,..",
-        help="seeds replicated over every point (default: 0)",
-    )
+    add_sweep_axis_args(sweep)
     sweep.add_argument(
         "--workers", "-j", default=None,
         help="process-pool size (default/1: run serially)",
@@ -259,6 +284,66 @@ def build_parser() -> argparse.ArgumentParser:
              "BENCH_*.json; ignored for --suite all)",
     )
     bench.add_argument("--json", action="store_true", help="print the results as JSON")
+
+    serve = sub.add_parser(
+        "serve", help="run the persistent campaign service (job queue + HTTP API)"
+    )
+    serve.add_argument("--host", default=None, help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None, help="bind port (default: 8321)")
+    serve.add_argument(
+        "--workers", "-j", type=int, default=2,
+        help="worker processes shared by all submitted sweeps (default: 2)",
+    )
+    serve.add_argument(
+        "--max-jobs", type=int, default=32,
+        help="admission bound: active (queued+running) jobs before submits "
+             "get 429 (default: 32)",
+    )
+    serve.add_argument(
+        "--jobstore-dir", default=None,
+        help="durable job-store directory (env: REPRO_JOBSTORE_DIR; "
+             "default: <cache-dir>/jobs)",
+    )
+    add_cache_args(serve)
+
+    def add_client_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--url", default=os.environ.get("REPRO_SERVE_URL", None),
+            help="daemon base URL (env: REPRO_SERVE_URL; "
+                 "default: http://127.0.0.1:8321)",
+        )
+
+    submit = sub.add_parser(
+        "submit", help="submit a sweep to a running repro serve daemon"
+    )
+    add_sweep_axis_args(submit)
+    add_client_args(submit)
+    submit.add_argument(
+        "--no-wait", action="store_true",
+        help="return immediately after submission instead of streaming progress",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=None,
+        help="max seconds to wait for completion (default: forever)",
+    )
+    submit.add_argument("--json", action="store_true", help="print the job as JSON")
+    submit.add_argument("--quiet", "-q", action="store_true", help="no per-point progress")
+
+    jobs = sub.add_parser("jobs", help="inspect a running daemon's jobs")
+    jobs.add_argument("job_id", nargs="?", default=None, help="show one job")
+    add_client_args(jobs)
+    jobs.add_argument(
+        "--cancel", action="store_true", help="cancel the given job"
+    )
+    jobs.add_argument(
+        "--results", action="store_true",
+        help="fetch the given job's cached results",
+    )
+    jobs.add_argument(
+        "--events", action="store_true",
+        help="print the given job's progress lines",
+    )
+    jobs.add_argument("--json", action="store_true", help="print as JSON")
     return parser
 
 
@@ -356,10 +441,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     workers = "serial" if args.serial else args.workers
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    progress = None
-    if not args.quiet and not args.json:
-        def progress(event: ProgressEvent) -> None:
+    completed = {"count": 0}  # progress survives an interrupt for the report
+
+    def progress(event: ProgressEvent) -> None:
+        completed["count"] = event.done
+        if not args.quiet and not args.json:
             print(event.message, flush=True)
+
     try:
         sweep = SweepSpec(
             experiment_id=args.experiment_id,
@@ -373,12 +461,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         message = exc.args[0] if exc.args else exc
         print(f"error: {message}", file=sys.stderr)
         return 1
+    total = len(campaign.specs)
     print(
-        f"sweep {args.experiment_id}: {len(campaign.specs)} points "
-        f"({campaign.executor.kind})",
+        f"sweep {args.experiment_id}: {total} points ({campaign.executor.kind})",
         file=sys.stderr,
     )
-    result = campaign.run()
+    # Ctrl-C / SIGTERM stop the sweep *gracefully*: every completed point is
+    # already flushed to the cache (Campaign persists per completion), so a
+    # re-run resumes exactly where this one stopped.
+    with _graceful_sigterm():
+        try:
+            result = campaign.run()
+        except KeyboardInterrupt:
+            done = completed["count"]
+            where = f"{done}/{total} points complete"
+            resume = (
+                "; completed runs are cached — re-run the same sweep to resume"
+                if cache is not None
+                else ""
+            )
+            print(f"\ninterrupted: {where}{resume}", file=sys.stderr)
+            return EXIT_INTERRUPTED
     if args.json:
         print(json.dumps(
             {"summary": result.summary(), "payloads": result.payloads},
@@ -392,6 +495,204 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"in {summary['duration_s']}s"
         )
     return 1 if result.failures else 0
+
+
+class _graceful_sigterm:
+    """Context manager turning SIGTERM into KeyboardInterrupt (main thread).
+
+    Lets ``repro sweep`` and ``repro serve`` treat a polite ``kill`` exactly
+    like Ctrl-C: flush state, report progress, exit without a traceback.
+    Outside the main thread (e.g. tests driving ``cli_main`` from a worker
+    thread) signal handlers cannot be installed, so it degrades to a no-op.
+    """
+
+    def __enter__(self):
+        self._previous = None
+        try:
+            self._previous = signal.signal(
+                signal.SIGTERM, lambda signum, frame: (_ for _ in ()).throw(
+                    KeyboardInterrupt()
+                )
+            )
+        except ValueError:  # not the main thread
+            pass
+        return self
+
+    def __exit__(self, *exc_info):
+        if self._previous is not None:
+            signal.signal(signal.SIGTERM, self._previous)
+        return False
+
+
+def _jobstore_dir(args: argparse.Namespace) -> str:
+    if args.jobstore_dir:
+        return args.jobstore_dir
+    env = os.environ.get("REPRO_JOBSTORE_DIR")
+    if env:
+        return env
+    return os.path.join(args.cache_dir, "jobs")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the persistent campaign service until interrupted."""
+    from repro.serve.api import DEFAULT_HOST, DEFAULT_PORT, ServeDaemon
+    from repro.serve.service import CampaignService
+
+    if args.no_cache:
+        print(
+            "error: repro serve requires the result cache — it is what makes "
+            "jobs durable and repeat queries free",
+            file=sys.stderr,
+        )
+        return 2
+    service = CampaignService(
+        jobstore_dir=_jobstore_dir(args),
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        max_jobs=args.max_jobs,
+    )
+    daemon = ServeDaemon(
+        service,
+        host=args.host if args.host is not None else DEFAULT_HOST,
+        port=args.port if args.port is not None else DEFAULT_PORT,
+    )
+    recovered = service.start()  # recover before accepting traffic
+    for job in recovered:
+        print(f"resuming job {job.job_id} ({job.total} points)", file=sys.stderr)
+    print(
+        f"repro serve listening on {daemon.url} "
+        f"({args.workers} workers, cache {service.cache.root}, "
+        f"jobs {service.store.root})",
+        file=sys.stderr, flush=True,
+    )
+    with _graceful_sigterm():
+        try:
+            daemon.serve_forever()
+        except KeyboardInterrupt:
+            print(
+                "\nshutting down: letting workers finish their current runs "
+                "(completed points are cached; active jobs resume on restart)",
+                file=sys.stderr,
+            )
+            daemon.shutdown(graceful=True)
+            return 0
+    return 0
+
+
+def _sweep_payload(args: argparse.Namespace) -> dict:
+    return {
+        "experiment_id": args.experiment_id,
+        "base": dict(args.params),
+        "grid": dict(args.grid),
+        "zipped": dict(args.zipped),
+        "seeds": list(args.seeds),
+    }
+
+
+def _make_client(args: argparse.Namespace):
+    from repro.serve.client import DEFAULT_URL, ServeClient
+
+    return ServeClient(args.url or DEFAULT_URL)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeError
+
+    client = _make_client(args)
+    try:
+        job = client.submit(_sweep_payload(args))
+    except ServeError as exc:
+        if exc.status == 429:
+            print(f"busy (429): {exc}", file=sys.stderr)
+            return 3
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    deduped = "" if job.get("created") else " (deduplicated to existing job)"
+    print(
+        f"job {job['job_id']}: {job['state']}, {job['total']} points{deduped}",
+        file=sys.stderr,
+    )
+    if args.no_wait:
+        if args.json:
+            print(json.dumps(job, indent=2, sort_keys=True))
+        return 0
+    on_event = None
+    if not args.quiet and not args.json:
+        def on_event(line: str) -> None:
+            print(line, flush=True)
+    try:
+        job = client.wait(job["job_id"], timeout=args.timeout, on_event=on_event)
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print(
+            f"\ndetached from job {job['job_id']} (it keeps running; "
+            f"check it with: repro jobs {job['job_id']})",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
+    if args.json:
+        print(json.dumps(client.results(job["job_id"]), indent=2, sort_keys=True))
+    else:
+        print(
+            f"{job['state']}: {job['total']} points, {job['executed']} executed, "
+            f"{job['cache_hits']} cache hits, {job['failures']} failures"
+        )
+    return 0 if job["state"] == "done" else 1
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import format_table
+    from repro.serve.client import ServeError
+
+    client = _make_client(args)
+    try:
+        if args.job_id is None:
+            jobs = client.jobs()
+            if args.json:
+                print(json.dumps(jobs, indent=2, sort_keys=True))
+            elif not jobs:
+                print("no jobs")
+            else:
+                rows = [
+                    (
+                        job["job_id"], job.get("experiment_id", "-"), job["state"],
+                        f"{job['done']}/{job['total']}", job["executed"],
+                        job["cache_hits"], job["failures"], job["created_at"],
+                    )
+                    for job in jobs
+                ]
+                print(format_table(
+                    ("job", "experiment", "state", "done", "executed",
+                     "cache_hits", "failures", "created"),
+                    rows,
+                ))
+            return 0
+        if args.cancel:
+            payload = client.cancel(args.job_id)
+        elif args.results:
+            payload = client.results(args.job_id)
+        elif args.events:
+            for line in client.events(args.job_id):
+                print(line)
+            return 0
+        else:
+            payload = client.job(args.job_id)
+        if args.json or args.results:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            for key in (
+                "job_id", "state", "total", "done", "executed", "cache_hits",
+                "failures", "submits", "created_at", "started_at",
+                "finished_at", "error", "note",
+            ):
+                if key in payload and payload[key] not in (None, ""):
+                    print(f"  {key}: {payload[key]}")
+        return 0
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
@@ -629,6 +930,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_report(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+        if args.command == "jobs":
+            return _cmd_jobs(args)
     except BrokenPipeError:  # e.g. `python -m repro list | head`
         sys.stderr.close()  # suppress the interpreter's flush-time warning
         return 0

@@ -19,10 +19,11 @@ cheaper without affecting results.
 from __future__ import annotations
 
 import os
+from abc import ABC, abstractmethod
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from datetime import datetime, timezone
 from time import perf_counter
-from typing import Iterable, Iterator, Sequence
+from typing import Hashable, Iterable, Iterator, Sequence
 
 from repro.engine.records import RunRecord
 from repro.engine.spec import RunSpec, spec_fingerprint
@@ -31,6 +32,8 @@ from repro.version import __version__
 
 __all__ = [
     "execute_run",
+    "RunExecutor",
+    "StreamExecutor",
     "SerialExecutor",
     "ProcessPoolRunExecutor",
     "make_executor",
@@ -75,7 +78,66 @@ def execute_run(
     )
 
 
-class SerialExecutor:
+class RunExecutor(ABC):
+    """Interface every run executor implements.
+
+    ``run_specs`` is the batch contract :class:`~repro.engine.campaign.Campaign`
+    consumes: feed it an ordered list of specs, stream back ``(index, record)``
+    pairs in whatever order runs complete.  ``close`` releases long-lived
+    resources (a no-op for the stateless built-ins; the serve worker pool
+    terminates its processes here).
+    """
+
+    kind: str = "abstract"
+
+    @abstractmethod
+    def run_specs(self, specs: Sequence[RunSpec]) -> Iterator[tuple[int, RunRecord]]:
+        """Yield ``(index, record)`` for every spec, in completion order."""
+
+    def close(self) -> None:
+        """Release executor resources (idempotent)."""
+
+
+class StreamExecutor(RunExecutor):
+    """Executors that accept tagged submissions from many campaigns at once.
+
+    The one-pool-per-sweep model of :class:`ProcessPoolRunExecutor` ties the
+    worker pool's lifetime to a single spec list.  A stream executor instead
+    exposes the pool as a long-lived service: callers :meth:`submit` specs
+    tagged with an opaque token (e.g. ``(job_id, index)``) whenever they like,
+    and drain :meth:`completions` as results arrive — so N concurrently
+    submitted sweeps share one set of workers and work-stealing across sweeps
+    falls out of the shared queue.  The serve daemon's
+    :class:`~repro.serve.workers.WorkerPool` is the canonical implementation.
+    """
+
+    @abstractmethod
+    def submit(self, token: Hashable, spec: RunSpec) -> None:
+        """Enqueue one run; ``token`` is echoed back with its completion."""
+
+    @abstractmethod
+    def completions(self, timeout: float | None = None) -> Iterator[tuple[Hashable, RunRecord]]:
+        """Yield ``(token, record)`` for finished runs.
+
+        With a ``timeout`` the iterator stops (without raising) once no
+        completion arrives for that many seconds; with ``timeout=None`` it
+        blocks until the next completion forever.
+        """
+
+    def run_specs(self, specs: Sequence[RunSpec]) -> Iterator[tuple[int, RunRecord]]:
+        """Batch adapter: submit everything, drain until all runs report."""
+        for index, spec in enumerate(specs):
+            self.submit(index, spec)
+        remaining = len(specs)
+        while remaining:
+            for token, record in self.completions(timeout=None):
+                yield int(token), record  # type: ignore[call-overload]
+                remaining -= 1
+                if not remaining:
+                    return
+
+
+class SerialExecutor(RunExecutor):
     """Runs specs one after another in the current process."""
 
     kind = "serial"
@@ -86,7 +148,7 @@ class SerialExecutor:
             yield index, execute_run(spec, executor_kind=self.kind)
 
 
-class ProcessPoolRunExecutor:
+class ProcessPoolRunExecutor(RunExecutor):
     """Fans specs out across a :class:`concurrent.futures.ProcessPoolExecutor`.
 
     Results are yielded as they complete (for progress streaming); callers
@@ -119,13 +181,18 @@ class ProcessPoolRunExecutor:
 
 
 def make_executor(
-    workers: int | str | None,
-) -> SerialExecutor | ProcessPoolRunExecutor:
+    workers: int | str | RunExecutor | None,
+) -> RunExecutor:
     """Build an executor from a worker-count knob.
 
-    ``None``, ``0``, ``1`` or ``"serial"`` select the serial executor;
-    any larger integer selects a process pool of that size.
+    ``None``, ``0``, ``1`` or ``"serial"`` select the serial executor; any
+    larger integer selects a process pool of that size.  A ready-made
+    :class:`RunExecutor` instance passes through unchanged, which is how a
+    long-lived shared pool (e.g. the serve daemon's) is threaded into a
+    :class:`~repro.engine.campaign.Campaign`.
     """
+    if isinstance(workers, RunExecutor):
+        return workers
     if workers == "serial":
         return SerialExecutor()
     if isinstance(workers, str):
@@ -136,7 +203,7 @@ def make_executor(
 
 
 def run_all(
-    executor: SerialExecutor | ProcessPoolRunExecutor,
+    executor: RunExecutor,
     specs: Iterable[RunSpec],
 ) -> list[RunRecord]:
     """Convenience: execute ``specs`` and return records in spec order."""

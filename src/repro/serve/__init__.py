@@ -1,0 +1,50 @@
+"""Persistent campaign service: durable job queue + shared worker pool + HTTP API.
+
+Turns the one-shot campaign engine into a long-running system:
+
+* :mod:`repro.serve.jobstore` — durable on-disk :class:`JobStore` of
+  content-addressed :class:`JobRecord` documents (atomic writes, crash-safe,
+  requeues interrupted jobs on restart).
+* :mod:`repro.serve.workers` — :class:`WorkerPool`, N spawned worker
+  processes pulling from one shared queue (the
+  :class:`~repro.engine.executor.StreamExecutor` implementation) with
+  write-through to the content-addressed result cache.
+* :mod:`repro.serve.service` — :class:`CampaignService`, the scheduler that
+  dedupes submissions, admits within a bounded job queue, round-robins
+  active sweeps onto the pool, and resumes killed campaigns from the cache.
+* :mod:`repro.serve.api` — :class:`ServeDaemon`, the stdlib
+  ``ThreadingHTTPServer`` API (``POST /sweeps``, ``GET /jobs/<id>``,
+  ``GET /results/<id>``, …).
+* :mod:`repro.serve.client` — :class:`ServeClient`, the urllib client the
+  ``repro submit`` / ``repro jobs`` commands use.
+
+Start a daemon with ``repro serve``; submit work with ``repro submit``.
+"""
+
+from repro.serve.api import DEFAULT_HOST, DEFAULT_PORT, ServeDaemon
+from repro.serve.client import DEFAULT_URL, ServeClient, ServeError
+from repro.serve.jobstore import JobRecord, JobStore, sweep_job_id
+from repro.serve.service import (
+    DEFAULT_JOBSTORE_DIR,
+    AdmissionError,
+    CampaignService,
+    sweep_from_payload,
+)
+from repro.serve.workers import WorkerPool
+
+__all__ = [
+    "AdmissionError",
+    "CampaignService",
+    "DEFAULT_HOST",
+    "DEFAULT_JOBSTORE_DIR",
+    "DEFAULT_PORT",
+    "DEFAULT_URL",
+    "JobRecord",
+    "JobStore",
+    "ServeClient",
+    "ServeDaemon",
+    "ServeError",
+    "WorkerPool",
+    "sweep_from_payload",
+    "sweep_job_id",
+]

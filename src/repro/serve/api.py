@@ -1,0 +1,203 @@
+"""HTTP API for the campaign service (stdlib only, no new dependencies).
+
+Routes (all JSON unless noted):
+
+* ``POST /sweeps`` — async submit.  Body is a sweep payload
+  (``{"experiment_id", "base", "grid", "zipped", "seeds"}``); responds 202
+  with the job document (200 when the sweep deduped to an existing job),
+  400 on malformed sweeps and **429 + Retry-After when the bounded job queue
+  is full** so heavy traffic degrades gracefully instead of piling up.
+* ``GET /jobs`` — every job's summary, oldest first.
+* ``GET /jobs/<id>`` — one job's status document.
+* ``GET /jobs/<id>/events`` — the job's progress lines as ``text/plain``;
+  ``?follow=1`` keeps the response open, streaming new
+  :class:`~repro.engine.campaign.ProgressEvent` lines until the job reaches
+  a terminal state.
+* ``POST /jobs/<id>/cancel`` — cancel a queued/running job.
+* ``GET /results/<id>`` — the job's records read *cache-first*: every point
+  is fetched straight from the content-addressed result cache, so repeat
+  queries cost ~0 compute whether they hit the same daemon or a fresh one.
+* ``GET /healthz`` — liveness + worker/job counts.
+
+The server is a :class:`ThreadingHTTPServer`: handler threads only touch the
+:class:`~repro.serve.service.CampaignService` (which is thread-safe); all
+actual compute happens in the worker processes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from threading import Thread
+
+from repro.serve.jobstore import TERMINAL_STATES
+from repro.serve.service import AdmissionError, CampaignService
+from repro.utils.validation import ValidationError
+from repro.version import __version__
+
+__all__ = ["ServeDaemon", "ServeAPIHandler", "DEFAULT_HOST", "DEFAULT_PORT"]
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8321
+
+
+class ServeAPIHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the attached :class:`CampaignService`."""
+
+    server_version = f"repro-serve/{__version__}"
+
+    @property
+    def service(self) -> CampaignService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # --------------------------------------------------------------- routes
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        path, _, query = self.path.partition("?")
+        parts = [part for part in path.split("/") if part]
+        try:
+            if parts == ["healthz"]:
+                self._send_json(200, self.service.health())
+            elif parts == ["jobs"]:
+                self._send_json(
+                    200, {"jobs": [job.summary() for job in self.service.jobs()]}
+                )
+            elif len(parts) == 2 and parts[0] == "jobs":
+                job = self.service.job(parts[1])
+                if job is None:
+                    self._send_json(404, {"error": f"unknown job {parts[1]!r}"})
+                else:
+                    self._send_json(200, job.to_dict())
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
+                self._send_events(parts[1], follow="follow=1" in query)
+            elif len(parts) == 2 and parts[0] == "results":
+                results = self.service.results(parts[1])
+                if results is None:
+                    self._send_json(404, {"error": f"unknown job {parts[1]!r}"})
+                else:
+                    self._send_json(200, results)
+            else:
+                self._send_json(404, {"error": f"no route for GET {path}"})
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        parts = [part for part in self.path.split("/") if part]
+        try:
+            if parts == ["sweeps"]:
+                self._submit_sweep()
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+                job = self.service.cancel(parts[1])
+                if job is None:
+                    self._send_json(404, {"error": f"unknown job {parts[1]!r}"})
+                else:
+                    self._send_json(200, job.summary())
+            else:
+                self._send_json(404, {"error": f"no route for POST {self.path}"})
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    # -------------------------------------------------------------- actions
+    def _submit_sweep(self) -> None:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            if not isinstance(payload, dict):
+                raise ValueError("sweep payload must be a JSON object")
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"error": f"bad request body: {exc}"})
+            return
+        try:
+            job, created = self.service.submit(payload)
+        except AdmissionError as exc:
+            self._send_json(429, {"error": str(exc)}, headers={"Retry-After": "1"})
+            return
+        except (ValidationError, KeyError, TypeError, ValueError) as exc:
+            message = exc.args[0] if exc.args else exc
+            self._send_json(400, {"error": f"invalid sweep: {message}"})
+            return
+        self._send_json(202 if created else 200, job.to_dict() | {"created": created})
+
+    def _send_events(self, job_id: str, follow: bool) -> None:
+        if self.service.job(job_id) is None:
+            self._send_json(404, {"error": f"unknown job {job_id!r}"})
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        sent = 0
+        while True:
+            events = self.service.events(job_id)
+            for line in events[sent:]:
+                self.wfile.write((line + "\n").encode())
+            sent = len(events)
+            self.wfile.flush()
+            job = self.service.job(job_id)
+            if not follow or job is None or job.state in TERMINAL_STATES:
+                return
+            time.sleep(0.2)
+
+    # -------------------------------------------------------------- plumbing
+    def _send_json(
+        self, code: int, payload: dict, headers: dict[str, str] | None = None
+    ) -> None:
+        body = json.dumps(payload, indent=2, sort_keys=True).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 — stdlib name
+        pass  # per-request stderr chatter off; the CLI prints the service lines
+
+
+class ServeDaemon:
+    """A :class:`ThreadingHTTPServer` bound to one :class:`CampaignService`."""
+
+    def __init__(
+        self,
+        service: CampaignService,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+    ):
+        self.service = service
+        self.server = ThreadingHTTPServer((host, port), ServeAPIHandler)
+        self.server.daemon_threads = True
+        self.server.service = service  # type: ignore[attr-defined]
+        self._thread: Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self.server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> None:
+        """Start the service and serve HTTP on a background thread."""
+        self.service.start()
+        self._thread = Thread(
+            target=self.server.serve_forever, name="repro-serve-http", daemon=True
+        )
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Start the service and serve HTTP on the calling thread."""
+        self.service.start()
+        self.server.serve_forever()
+
+    def shutdown(self, graceful: bool = True) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self.service.shutdown(graceful=graceful)

@@ -1,0 +1,126 @@
+"""Thin stdlib HTTP client for a running ``repro serve`` daemon.
+
+Wraps :mod:`urllib.request` so the CLI (``repro submit`` / ``repro jobs``)
+and tests talk to the service without any new dependency.  Error responses
+raise :class:`ServeError` carrying the HTTP status and the server's decoded
+JSON error payload, so callers can distinguish "queue full, retry" (429)
+from "bad sweep" (400).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.serve.api import DEFAULT_HOST, DEFAULT_PORT
+from repro.serve.jobstore import TERMINAL_STATES
+
+__all__ = ["ServeClient", "ServeError", "DEFAULT_URL"]
+
+DEFAULT_URL = f"http://{DEFAULT_HOST}:{DEFAULT_PORT}"
+
+
+class ServeError(RuntimeError):
+    """An error response (or connection failure) from the serve daemon."""
+
+    def __init__(self, message: str, status: int = 0, payload: dict | None = None):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class ServeClient:
+    """Talks JSON to one daemon; every method maps to one endpoint."""
+
+    def __init__(self, url: str = DEFAULT_URL, timeout: float = 30.0):
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------- plumbing
+    def _request(self, method: str, path: str, payload: dict | None = None):
+        data = json.dumps(payload).encode() if payload is not None else None
+        request = urllib.request.Request(
+            f"{self.url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                body = response.read()
+                content_type = response.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as exc:
+            try:
+                error_payload = json.loads(exc.read() or b"{}")
+            except json.JSONDecodeError:
+                error_payload = {}
+            message = error_payload.get("error", f"HTTP {exc.code}")
+            raise ServeError(message, status=exc.code, payload=error_payload) from exc
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServeError(
+                f"cannot reach repro serve at {self.url}: {exc}"
+            ) from exc
+        if "text/plain" in content_type:
+            return body.decode()
+        return json.loads(body) if body else {}
+
+    # ------------------------------------------------------------ endpoints
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def submit(self, sweep: dict) -> dict:
+        """``POST /sweeps``; raises :class:`ServeError` with status 429 when full."""
+        return self._request("POST", "/sweeps", payload=sweep)
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def events(self, job_id: str) -> list[str]:
+        text = self._request("GET", f"/jobs/{job_id}/events")
+        return [line for line in str(text).splitlines() if line]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def results(self, job_id: str) -> dict:
+        return self._request("GET", f"/results/{job_id}")
+
+    # ------------------------------------------------------------ waiting
+    def wait(
+        self,
+        job_id: str,
+        timeout: float | None = None,
+        poll_s: float = 0.3,
+        on_event=None,
+    ) -> dict:
+        """Poll until the job reaches a terminal state; returns its document.
+
+        ``on_event`` (if given) receives every *new* progress line exactly
+        once as the wait progresses — the CLI uses it to mirror the sweep
+        command's live per-point output.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        seen = 0
+        while True:
+            if on_event is not None:
+                events = self.events(job_id)
+                for line in events[seen:]:
+                    on_event(line)
+                seen = len(events)
+            job = self.job(job_id)
+            if job["state"] in TERMINAL_STATES:
+                if on_event is not None:
+                    for line in self.events(job_id)[seen:]:
+                        on_event(line)
+                return job
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServeError(
+                    f"timed out after {timeout}s waiting for job {job_id} "
+                    f"({job['done']}/{job['total']} points done)"
+                )
+            time.sleep(poll_s)

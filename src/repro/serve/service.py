@@ -1,0 +1,379 @@
+"""The campaign service: durable jobs scheduled onto a shared worker pool.
+
+:class:`CampaignService` is the daemon's core (the HTTP layer in
+:mod:`repro.serve.api` is a thin shell around it):
+
+* **submit** expands a sweep payload into resolved run specs, derives the
+  content-addressed job id, dedupes against the store (an identical sweep
+  returns the existing job — finished jobs return with zero new executions),
+  applies bounded admission control, and persists the job ``queued``;
+* a **scheduler thread** activates queued jobs (serving every point already
+  in the result cache as an up-front cache hit), round-robins the remaining
+  points of *all* active jobs onto the shared
+  :class:`~repro.serve.workers.WorkerPool` queue (work-stealing across
+  concurrently submitted sweeps), drains completions, persists progress after
+  every point, and replaces dead workers, re-dispatching their lost tasks;
+* **recovery** is automatic: on start the store requeues whatever a previous
+  daemon left active, and activation re-runs only the points the cache does
+  not already hold — a ``kill -9`` mid-campaign costs at most the runs that
+  were physically in flight.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.engine.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.engine.campaign import ProgressEvent
+from repro.engine.records import RunRecord
+from repro.engine.spec import RunSpec, SweepSpec
+from repro.serve.jobstore import JobRecord, JobStore, sweep_job_id
+from repro.serve.jobstore import _utc_now as _now
+from repro.serve.workers import WorkerPool
+from repro.utils.validation import check_positive_int
+from repro.version import __version__
+
+__all__ = ["CampaignService", "AdmissionError", "DEFAULT_JOBSTORE_DIR", "sweep_from_payload"]
+
+#: Default job-store location, kept next to the result cache it resumes from.
+DEFAULT_JOBSTORE_DIR = f"{DEFAULT_CACHE_DIR}/jobs"
+
+
+class AdmissionError(RuntimeError):
+    """The service is at its job-queue bound; retry after load drains."""
+
+
+def sweep_from_payload(payload: dict) -> SweepSpec:
+    """Build a :class:`SweepSpec` from a ``POST /sweeps`` JSON body.
+
+    Raises ``repro.utils.validation.ValidationError`` / ``KeyError`` for
+    malformed payloads — the API maps those to 400 responses.
+    """
+    known = {"experiment_id", "base", "grid", "zipped", "seeds"}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise KeyError(f"unknown sweep field(s) {unknown}; accepted: {sorted(known)}")
+    return SweepSpec(
+        experiment_id=str(payload.get("experiment_id", "")),
+        base=dict(payload.get("base", {})),
+        grid=dict(payload.get("grid", {})),
+        zipped=dict(payload.get("zipped", {})),
+        seeds=tuple(payload.get("seeds", (0,))),
+    )
+
+
+@dataclass
+class _ActiveJob:
+    """Scheduler-side view of one running job."""
+
+    job_id: str
+    total: int
+    pending: deque = field(default_factory=deque)  # (index, RunSpec) to dispatch
+    outstanding: dict = field(default_factory=dict)  # index -> RunSpec in flight
+    completed: set = field(default_factory=set)  # indices accounted for
+    done: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    failures: int = 0
+
+    def counters(self) -> dict:
+        return {
+            "done": self.done,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "failures": self.failures,
+        }
+
+
+class CampaignService:
+    """Durable job queue + shared multi-worker executor + result cache."""
+
+    def __init__(
+        self,
+        jobstore_dir: str | Path = DEFAULT_JOBSTORE_DIR,
+        cache_dir: str | Path = DEFAULT_CACHE_DIR,
+        workers: int = 2,
+        max_jobs: int = 32,
+        version: str = __version__,
+        tick_s: float = 0.1,
+    ):
+        self.version = version
+        self.store = JobStore(jobstore_dir, version=version)
+        self.cache = ResultCache(cache_dir, version=version)
+        self.pool = WorkerPool(
+            workers=check_positive_int(workers, "workers"),
+            cache_dir=str(cache_dir),
+            version=version,
+        )
+        self.max_jobs = check_positive_int(max_jobs, "max_jobs")
+        self.tick_s = tick_s
+        self._active: dict[str, _ActiveJob] = {}
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._started = False
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> list[JobRecord]:
+        """Start workers + scheduler; returns the jobs recovered for resume."""
+        if self._started:
+            return []
+        self._started = True
+        recovered = self.store.recover()
+        self.pool.start()
+        self._thread = threading.Thread(
+            target=self._scheduler_loop, name="repro-serve-scheduler", daemon=True
+        )
+        self._thread.start()
+        return recovered
+
+    def shutdown(self, graceful: bool = True) -> None:
+        """Stop scheduling; requeue in-flight jobs so a restart resumes them."""
+        if not self._started:
+            return
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self.pool.stop(graceful=graceful)
+        with self._lock:
+            for job_id in list(self._active):
+                del self._active[job_id]
+                job = self.store.get(job_id)
+                if job is not None and job.active:
+                    self.store.save(job.requeued(note="interrupted by shutdown"))
+                    self.store.append_event(job_id, "-- interrupted by shutdown --")
+        self._started = False
+
+    # -------------------------------------------------------------- submit
+    def submit(self, payload: dict) -> tuple[JobRecord, bool]:
+        """Submit a sweep; returns ``(job, created)``.
+
+        Identical sweeps (same expanded specs under this version) dedupe to
+        the existing job whatever its state: active jobs are simply returned,
+        finished ``done`` jobs are returned with their results intact (zero
+        new executions), and ``failed``/``cancelled`` jobs are requeued so a
+        resubmit resumes them from the cache.
+        """
+        sweep = sweep_from_payload(payload)
+        specs = sweep.expand(validate=True)
+        job_id = sweep_job_id(specs, self.version)
+        with self._lock:
+            existing = self.store.get(job_id)
+            if existing is not None:
+                existing = self.store.update(job_id, submits=existing.submits + 1)
+                if existing.state in ("failed", "cancelled"):
+                    existing = self.store.save(
+                        existing.requeued(note=f"resubmitted after {existing.state}")
+                    )
+                    self.store.append_event(job_id, "-- resubmitted, resuming --")
+                return existing, False
+            active_jobs = sum(1 for job in self.store.jobs() if job.active)
+            if active_jobs >= self.max_jobs:
+                raise AdmissionError(
+                    f"job queue full ({active_jobs}/{self.max_jobs} jobs active); "
+                    "retry after current campaigns drain"
+                )
+            job = JobRecord(
+                job_id=job_id,
+                sweep={
+                    "experiment_id": sweep.experiment_id,
+                    "base": dict(sweep.base),
+                    "grid": dict(sweep.grid),
+                    "zipped": dict(sweep.zipped),
+                    "seeds": list(sweep.seeds),
+                },
+                specs=tuple(spec.canonical() for spec in specs),
+            )
+            job = self.store.save(job)
+            self.store.clear_events(job_id)
+            self.store.append_event(
+                job_id, f"-- submitted: {job.total} points of {sweep.experiment_id} --"
+            )
+        return job, True
+
+    # -------------------------------------------------------------- queries
+    def job(self, job_id: str) -> JobRecord | None:
+        return self.store.get(job_id)
+
+    def jobs(self) -> list[JobRecord]:
+        return self.store.jobs()
+
+    def events(self, job_id: str) -> list[str]:
+        return self.store.events(job_id)
+
+    def cancel(self, job_id: str) -> JobRecord | None:
+        """Cancel a job; pending points are dropped, completed ones stay cached."""
+        with self._lock:
+            job = self.store.get(job_id)
+            if job is None or job.finished:
+                return job
+            state = self._active.pop(job_id, None)
+            fields = state.counters() if state is not None else {}
+            job = self.store.update(
+                job_id,
+                state="cancelled",
+                finished_at=_now(),
+                note="cancelled by request",
+                **fields,
+            )
+            self.store.append_event(
+                job_id, f"-- cancelled ({job.done}/{job.total} points complete) --"
+            )
+            return job
+
+    def results(self, job_id: str) -> dict | None:
+        """Cache-first result read: every point fetched straight from the cache."""
+        job = self.store.get(job_id)
+        if job is None:
+            return None
+        records = []
+        payloads = []
+        for spec in job.run_specs():
+            record = self.cache.get(spec)
+            if record is None:
+                records.append({"label": spec.label(), "status": "missing"})
+            else:
+                records.append(
+                    {
+                        "label": spec.label(),
+                        "status": record.status,
+                        "cached": record.cached,
+                        "payload": dict(record.payload),
+                    }
+                )
+                if record.ok:
+                    payloads.append(dict(record.payload))
+        return {"job": job.summary(), "records": records, "payloads": payloads}
+
+    def health(self) -> dict:
+        jobs = self.store.jobs()
+        return {
+            "status": "ok",
+            "version": self.version,
+            "workers": self.pool.workers,
+            "workers_alive": self.pool.alive(),
+            "max_jobs": self.max_jobs,
+            "jobs": {
+                state: sum(1 for job in jobs if job.state == state)
+                for state in ("queued", "running", "done", "failed", "cancelled")
+            },
+            "cache_dir": str(self.cache.root),
+            "jobstore_dir": str(self.store.root),
+        }
+
+    # ----------------------------------------------------------- scheduler
+    def _scheduler_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self._activate_queued()
+                self._dispatch()
+                self._drain()
+                self._reap_workers()
+            except Exception as exc:  # noqa: BLE001 — scheduler must survive
+                # A scheduler crash would silently freeze every job; log the
+                # tick's failure to the affected stores and keep ticking.
+                try:
+                    for job_id in list(self._active):
+                        self.store.append_event(job_id, f"-- scheduler error: {exc} --")
+                except Exception:  # noqa: BLE001
+                    pass
+                self._stop.wait(self.tick_s)
+
+    def _activate_queued(self) -> None:
+        """Move queued store jobs into the scheduler, serving cache hits first."""
+        with self._lock:
+            for job in self.store.jobs():
+                if job.state != "queued" or job.job_id in self._active:
+                    continue
+                state = _ActiveJob(job_id=job.job_id, total=job.total)
+                for index, spec in enumerate(job.run_specs()):
+                    cached = self.cache.get(spec)
+                    if cached is not None:
+                        state.completed.add(index)
+                        state.done += 1
+                        state.cache_hits += 1
+                        self._emit(job.job_id, cached, state)
+                    else:
+                        state.pending.append((index, spec))
+                self._active[job.job_id] = state
+                self.store.update(
+                    job.job_id, state="running", started_at=_now(), **state.counters()
+                )
+                self._finish_if_complete(job.job_id, state)
+
+    def _dispatch(self) -> None:
+        """Round-robin pending points of every active job onto the shared queue."""
+        with self._lock:
+            progressing = True
+            while progressing:
+                progressing = False
+                for state in list(self._active.values()):
+                    if not state.pending:
+                        continue
+                    index, spec = state.pending[0]
+                    if not self.pool.try_submit((state.job_id, index), spec):
+                        return  # shared queue full — resume next tick
+                    state.pending.popleft()
+                    state.outstanding[index] = spec
+                    progressing = True
+
+    def _drain(self) -> None:
+        """Collect completions for up to one tick and persist progress."""
+        for token, record in self.pool.completions(timeout=self.tick_s):
+            job_id, index = token
+            with self._lock:
+                state = self._active.get(job_id)
+                if state is None or index in state.completed:
+                    continue  # cancelled job or a re-dispatched duplicate
+                state.outstanding.pop(index, None)
+                state.completed.add(index)
+                state.done += 1
+                state.executed += 1
+                if not record.ok:
+                    state.failures += 1
+                self._emit(job_id, record, state)
+                self.store.update(job_id, **state.counters())
+                self._finish_if_complete(job_id, state)
+            if self._stop.is_set():
+                return
+
+    def _reap_workers(self) -> None:
+        """Replace dead workers and re-dispatch the tasks they took with them."""
+        if self.pool.reap() == 0:
+            return
+        with self._lock:
+            for state in self._active.values():
+                # In-flight tasks of dead workers never report; requeue every
+                # outstanding point (duplicates are filtered by `completed`).
+                while state.outstanding:
+                    index, spec = state.outstanding.popitem()
+                    state.pending.appendleft((index, spec))
+
+    def _emit(self, job_id: str, record: RunRecord, state: _ActiveJob) -> None:
+        event = ProgressEvent(record=record, done=state.done, total=state.total)
+        self.store.append_event(job_id, event.message)
+
+    def _finish_if_complete(self, job_id: str, state: _ActiveJob) -> None:
+        """Caller holds the lock; transition a fully accounted job to terminal."""
+        if state.done < state.total:
+            return
+        self._active.pop(job_id, None)
+        final = "failed" if state.failures else "done"
+        error = (
+            f"{state.failures} of {state.total} runs failed" if state.failures else None
+        )
+        self.store.update(
+            job_id,
+            state=final,
+            finished_at=_now(),
+            error=error,
+            **state.counters(),
+        )
+        self.store.append_event(
+            job_id,
+            f"-- {final}: {state.executed} executed, {state.cache_hits} cache hits, "
+            f"{state.failures} failures --",
+        )

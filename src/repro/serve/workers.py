@@ -1,0 +1,214 @@
+"""Multi-process worker pool shared by every submitted sweep.
+
+This is the serve-side implementation of the
+:class:`~repro.engine.executor.StreamExecutor` interface: N long-lived worker
+processes pull ``(token, RunSpec)`` tasks from one shared queue, so points
+from concurrently submitted sweeps interleave freely (work-stealing across
+sweeps) instead of each sweep spinning up its own process pool.
+
+Durability properties:
+
+* each worker writes its finished record **through the result cache before
+  reporting completion**, so a daemon (or worker) killed at any moment loses
+  at most the runs physically in flight — everything completed is already
+  content-addressed on disk and will be served as a cache hit on resume;
+* workers ignore SIGINT and treat SIGTERM as "finish the current run, then
+  exit", so a graceful daemon shutdown never tears a cache write;
+* dead workers are detected by the scheduler (:meth:`WorkerPool.reap`) and
+  replaced, and their in-flight tasks are re-dispatched by the service.
+
+Workers are spawned (not forked): the daemon process runs HTTP handler
+threads, and forking a threaded process is unreliable; spawn also guarantees
+each worker starts from a clean interpreter, exactly like a fresh CLI run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_module
+import signal
+from typing import Hashable, Iterator
+
+from repro.engine.cache import ResultCache
+from repro.engine.executor import StreamExecutor, execute_run
+from repro.engine.records import RunRecord
+from repro.engine.spec import RunSpec
+from repro.utils.validation import check_positive_int
+from repro.version import __version__
+
+__all__ = ["WorkerPool", "worker_main"]
+
+_STOP = None  # queue sentinel asking a worker to exit
+
+
+def worker_main(
+    task_queue: mp.Queue,
+    result_queue: mp.Queue,
+    cache_dir: str | None,
+    version: str,
+) -> None:
+    """Worker-process loop: pull tasks, run them, cache, report.
+
+    Module-level so the spawn context can import it by reference.  The task
+    payload is ``(token, spec_canonical_dict)`` and the completion payload is
+    ``(token, record_dict)`` — plain data only crosses the process boundary.
+    """
+    stop = {"flag": False}
+
+    def _request_stop(signum, frame):  # noqa: ARG001 — signal signature
+        stop["flag"] = True
+
+    # The daemon owns Ctrl-C; SIGTERM means "finish the current run and exit"
+    # so a graceful shutdown never interrupts a cache write.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, _request_stop)
+
+    cache = ResultCache(cache_dir, version=version) if cache_dir else None
+    while not stop["flag"]:
+        try:
+            task = task_queue.get(timeout=0.2)
+        except queue_module.Empty:
+            continue
+        if task is _STOP:
+            break
+        token, spec_dict = task
+        spec = RunSpec(
+            experiment_id=str(spec_dict["experiment_id"]),
+            params=dict(spec_dict.get("params", {})),
+            seed=int(spec_dict.get("seed", 0)),
+        )
+        record = execute_run(spec, version, executor_kind="serve-worker")
+        if cache is not None and record.ok:
+            cache.put(record)  # durable before the completion is reported
+        try:
+            result_queue.put((token, record.to_dict()))
+        except (ValueError, OSError):  # queue closed: daemon is gone
+            break
+
+
+class WorkerPool(StreamExecutor):
+    """N spawned worker processes behind one shared task queue.
+
+    The task queue is bounded (``2 * workers`` by default) so the scheduler
+    keeps most pending work in its own per-job queues — which is what makes
+    cancellation prompt (at most a queue-depth of stale tasks execute) and
+    lets it interleave concurrently submitted sweeps fairly.
+    """
+
+    kind = "worker-pool"
+
+    def __init__(
+        self,
+        workers: int = 2,
+        cache_dir: str | None = None,
+        version: str = __version__,
+        queue_depth: int | None = None,
+    ):
+        self.workers = check_positive_int(workers, "workers")
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.version = version
+        self._ctx = mp.get_context("spawn")
+        depth = queue_depth if queue_depth is not None else 2 * self.workers
+        self.task_queue: mp.Queue = self._ctx.Queue(maxsize=depth)
+        self.result_queue: mp.Queue = self._ctx.Queue()
+        self._procs: list[mp.process.BaseProcess] = []
+        self._started = False
+        self.respawns = 0
+        #: Backstop against a respawn loop when workers die instantly and
+        #: deterministically (broken environment): after this many total
+        #: replacements the pool stays degraded instead of forking forever.
+        self.max_respawns = 10 * self.workers
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for _ in range(self.workers):
+            self._procs.append(self._spawn())
+
+    def _spawn(self) -> mp.process.BaseProcess:
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(self.task_queue, self.result_queue, self.cache_dir, self.version),
+            daemon=True,
+        )
+        proc.start()
+        return proc
+
+    def alive(self) -> int:
+        """Number of live worker processes."""
+        return sum(1 for proc in self._procs if proc.is_alive())
+
+    def pids(self) -> list[int]:
+        return [proc.pid for proc in self._procs if proc.pid is not None]
+
+    def reap(self) -> int:
+        """Replace dead workers; returns how many had to be respawned.
+
+        A worker that died mid-run (OOM-killed, segfaulted native code, …)
+        took its in-flight task with it — the caller is responsible for
+        re-dispatching unreported work (the service tracks outstanding
+        tokens per job precisely for this).
+        """
+        respawned = 0
+        for index, proc in enumerate(self._procs):
+            if not proc.is_alive() and self.respawns < self.max_respawns:
+                proc.join(timeout=0)
+                self._procs[index] = self._spawn()
+                respawned += 1
+                self.respawns += 1
+        return respawned
+
+    # ----------------------------------------------------------- streaming
+    def submit(self, token: Hashable, spec: RunSpec) -> None:
+        """Enqueue one run (blocks while the shared queue is full)."""
+        self.task_queue.put((token, spec.canonical()))
+
+    def try_submit(self, token: Hashable, spec: RunSpec) -> bool:
+        """Non-blocking :meth:`submit`; False when the shared queue is full."""
+        try:
+            self.task_queue.put_nowait((token, spec.canonical()))
+        except queue_module.Full:
+            return False
+        return True
+
+    def completions(self, timeout: float | None = None) -> Iterator[tuple[Hashable, RunRecord]]:
+        """Yield ``(token, record)`` pairs as workers report them.
+
+        With a timeout, stops (instead of raising) once the result queue
+        stays empty for that long — the scheduler uses this as its poll tick.
+        """
+        while True:
+            try:
+                token, record_dict = self.result_queue.get(timeout=timeout)
+            except queue_module.Empty:
+                return
+            yield token, RunRecord.from_dict(record_dict)
+
+    # ------------------------------------------------------------- shutdown
+    def stop(self, graceful: bool = True, timeout: float = 5.0) -> None:
+        """Stop every worker; graceful lets the current runs finish."""
+        if not self._started:
+            return
+        if graceful:
+            for _ in self._procs:
+                try:
+                    self.task_queue.put_nowait(_STOP)
+                except queue_module.Full:
+                    break
+            for proc in self._procs:
+                if proc.is_alive() and proc.pid is not None:
+                    os.kill(proc.pid, signal.SIGTERM)
+            for proc in self._procs:
+                proc.join(timeout=timeout)
+        for proc in self._procs:  # stragglers (or graceful=False): hard stop
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        self._procs.clear()
+        self._started = False
+
+    def close(self) -> None:
+        self.stop(graceful=True)

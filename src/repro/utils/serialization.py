@@ -7,13 +7,32 @@ training runs between invocations.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import threading
 from pathlib import Path
 
 import numpy as np
 
 __all__ = ["save_arrays", "load_arrays", "save_json", "load_json"]
+
+#: Monotonic per-process counter making temporary-file names unique across
+#: *threads* as well as processes (the serve daemon writes job records and
+#: cache entries from several threads of one pid at once).
+_TMP_COUNTER = itertools.count()
+
+
+def _tmp_sibling(path: Path) -> Path:
+    """A unique temporary sibling of ``path`` for atomic write-then-rename.
+
+    Uniqueness covers concurrent processes (pid), concurrent threads within a
+    process (thread id + counter), and repeated calls from the same thread
+    (counter), so no two in-flight writes ever share a temporary file.
+    """
+    return path.with_name(
+        f"{path.name}.tmp{os.getpid()}-{threading.get_ident()}-{next(_TMP_COUNTER)}"
+    )
 
 
 def save_arrays(path: str | Path, arrays: dict[str, np.ndarray]) -> Path:
@@ -28,7 +47,7 @@ def save_arrays(path: str | Path, arrays: dict[str, np.ndarray]) -> Path:
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    tmp = _tmp_sibling(path)
     try:
         with open(tmp, "wb") as handle:
             np.savez_compressed(
@@ -52,12 +71,13 @@ def save_json(path: str | Path, payload: dict) -> Path:
 
     The document is written to a temporary sibling then atomically renamed:
     concurrent writers (checkpoint hit-counter updates from parallel sweep
-    workers, cache records) can interleave without ever leaving a truncated
-    file behind.
+    workers, cache records, serve-daemon job updates from multiple threads)
+    can interleave without ever leaving a truncated file behind — readers
+    always see either the previous complete document or the new one.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    tmp = _tmp_sibling(path)
     try:
         tmp.write_text(json.dumps(payload, indent=2, sort_keys=True, default=_to_builtin))
         os.replace(tmp, path)
