@@ -31,10 +31,12 @@ from repro.engine.checkpoints import (
 )
 from repro.engine.executor import (
     ProcessPoolRunExecutor,
+    RetryPolicy,
     RunExecutor,
     SerialExecutor,
     StreamExecutor,
     execute_run,
+    failure_record,
     make_executor,
     run_all,
 )
@@ -54,11 +56,13 @@ __all__ = [
     "RunRecord",
     "RunSpec",
     "SweepSpec",
+    "RetryPolicy",
     "RunExecutor",
     "StreamExecutor",
     "SerialExecutor",
     "ProcessPoolRunExecutor",
     "execute_run",
+    "failure_record",
     "make_executor",
     "run_all",
     "canonical_json",

@@ -8,6 +8,16 @@ stop being addressed.
 
 JSON keeps the store greppable and diffable; payloads are summary-sized
 dictionaries (not raw arrays), so compactness is not a concern.
+
+Corruption policy: a stored file that no longer parses (torn write frozen to
+disk, bit rot, a concurrent writer killed mid-replace) is *quarantined* — moved
+to ``<root>/corrupt/`` with its original experiment prefix — the first time a
+read trips over it.  The lookup still reports a miss (the run recomputes and
+rewrites), but the evidence is preserved for forensics and surfaced by
+``repro report`` instead of being silently re-read and re-skipped forever.
+Writers can additionally pass ``verify=True`` to :meth:`put` to read each
+record back after writing and retry a bounded number of times, which is how
+serve workers guarantee a completion report implies a durable on-disk result.
 """
 
 from __future__ import annotations
@@ -18,14 +28,22 @@ from typing import Iterator
 
 from repro.engine.records import RunRecord
 from repro.engine.spec import RunSpec, spec_fingerprint
+from repro.faults import fault_point
 from repro.utils.serialization import load_json, save_json
 from repro.version import __version__
 
-__all__ = ["ResultCache", "DEFAULT_CACHE_DIR"]
+__all__ = ["ResultCache", "DEFAULT_CACHE_DIR", "CORRUPT_DIR_NAME"]
 
 #: Default cache location (relative to the working directory); override with
 #: the ``REPRO_CACHE_DIR`` environment variable or the CLI ``--cache-dir``.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Subdirectory of the cache root where corrupt entries are quarantined.
+CORRUPT_DIR_NAME = "corrupt"
+
+#: Errors that mean "the file's content is bad" (vs. the file being
+#: unreadable right now, which is an I/O condition, not evidence of rot).
+_CONTENT_ERRORS = (json.JSONDecodeError, KeyError, TypeError, ValueError)
 
 
 class ResultCache:
@@ -42,6 +60,38 @@ class ResultCache:
     def path_for(self, spec: RunSpec) -> Path:
         return self.root / spec.experiment_id / f"{self.fingerprint(spec)}.json"
 
+    # -------------------------------------------------------- quarantine
+    @property
+    def corrupt_dir(self) -> Path:
+        return self.root / CORRUPT_DIR_NAME
+
+    def _quarantine(self, path: Path) -> None:
+        """Move an unparseable entry to ``corrupt/`` (best-effort).
+
+        The destination keeps the experiment prefix (``corrupt/<exp>-<fp>.json``)
+        and grows a numeric suffix on collision, so repeated corruption of the
+        same fingerprint never overwrites earlier evidence.  Quarantine must
+        never turn a read problem into a crash — failures are swallowed and
+        the entry simply stays in place until the next write replaces it.
+        """
+        try:
+            self.corrupt_dir.mkdir(parents=True, exist_ok=True)
+            base = f"{path.parent.name}-{path.name}"
+            target = self.corrupt_dir / base
+            counter = 0
+            while target.exists():
+                counter += 1
+                target = self.corrupt_dir / f"{base}.{counter}"
+            path.replace(target)
+        except OSError:
+            pass
+
+    def quarantined_count(self) -> int:
+        """Number of corrupt entries moved aside so far."""
+        if not self.corrupt_dir.is_dir():
+            return 0
+        return sum(1 for p in self.corrupt_dir.iterdir() if p.is_file())
+
     # ------------------------------------------------------------ lookups
     def contains(self, spec: RunSpec) -> bool:
         return self.path_for(spec).is_file()
@@ -49,30 +99,83 @@ class ResultCache:
     def get(self, spec: RunSpec) -> RunRecord | None:
         """Return the cached record for ``spec``, or ``None`` on a miss.
 
-        Unreadable or corrupt entries are treated as misses (the executor
-        will simply recompute and overwrite them).
+        A corrupt entry is quarantined and reported as a miss (the executor
+        recomputes and rewrites it); a transiently unreadable file is left in
+        place and reported as a miss.
         """
         path = self.path_for(spec)
         if not path.is_file():
             return None
         try:
             record = RunRecord.from_dict(load_json(path))
-        except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError):
+        except _CONTENT_ERRORS:
+            self._quarantine(path)
+            return None
+        except OSError:
             return None
         return record.as_cached()
 
-    def put(self, record: RunRecord) -> Path:
+    def put(
+        self,
+        record: RunRecord,
+        verify: bool = False,
+        max_write_attempts: int = 3,
+    ) -> Path:
         """Persist a record (only successful runs are worth caching).
 
         The file is addressed by *this cache's* fingerprint of the spec, so
         a cache constructed for a different library version never serves (or
         shadows) records produced under another one.
+
+        With ``verify=True`` the entry is read back after writing and the
+        write retried (up to ``max_write_attempts`` total) until the stored
+        bytes parse; an entry that stays corrupt is quarantined and the final
+        ``OSError`` from the write path propagates.  Serve workers use this so
+        "reported done" always implies "durably cached".
         """
         if not record.ok:
             raise ValueError(
                 f"refusing to cache failed run {record.spec.label()}: {record.error}"
             )
-        return save_json(self.path_for(record.spec), record.to_dict())
+        path = self.path_for(record.spec)
+        attempts = max(1, max_write_attempts) if verify else 1
+        last_error: OSError | None = None
+        for _ in range(attempts):
+            try:
+                self._write(path, record)
+            except OSError as exc:
+                last_error = exc
+                continue
+            if not verify:
+                return path
+            try:
+                RunRecord.from_dict(load_json(path))
+            except _CONTENT_ERRORS:
+                self._quarantine(path)
+                last_error = OSError(f"cache write verification failed for {path}")
+                continue
+            except OSError as exc:
+                last_error = exc
+                continue
+            return path
+        raise last_error if last_error is not None else OSError(
+            f"cache write failed for {path}"
+        )
+
+    def _write(self, path: Path, record: RunRecord) -> None:
+        """One write attempt, honoring the ``cache.put`` fault point.
+
+        The ``corrupt_write`` effect persists a truncated document *directly*
+        (no atomic tmp+replace) — the torn write the atomic path is supposed
+        to prevent, frozen to disk the way a kernel crash would leave it.
+        """
+        effect = fault_point("cache.put", key=record.spec.label())
+        if effect == "corrupt_write":
+            document = json.dumps(record.to_dict())
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(document[: max(1, len(document) // 3)])
+            return
+        save_json(path, record.to_dict())
 
     # --------------------------------------------------------- maintenance
     def invalidate(self, spec: RunSpec) -> bool:
@@ -84,9 +187,15 @@ class ResultCache:
         return False
 
     def clear(self) -> int:
-        """Remove every record; returns the number of files deleted."""
+        """Remove every record; returns the number of files deleted.
+
+        Quarantined entries under ``corrupt/`` are evidence, not cache
+        content — they survive a ``clear()``.
+        """
         removed = 0
         for path in self.root.glob("*/*.json"):
+            if path.parent.name == CORRUPT_DIR_NAME:
+                continue
             path.unlink()
             removed += 1
         return removed
@@ -96,10 +205,16 @@ class ResultCache:
 
         This walks *all* stored files including ones written under other
         library versions — it is the audit/report view, not the lookup path.
+        Corrupt entries are quarantined as they are discovered.
         """
         pattern = f"{experiment_id}/*.json" if experiment_id else "*/*.json"
         for path in sorted(self.root.glob(pattern)):
+            if path.parent.name == CORRUPT_DIR_NAME:
+                continue
             try:
                 yield RunRecord.from_dict(load_json(path)).as_cached()
-            except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError):
+            except _CONTENT_ERRORS:
+                self._quarantine(path)
+                continue
+            except OSError:
                 continue

@@ -18,7 +18,7 @@ from time import perf_counter
 from typing import Callable, Sequence
 
 from repro.engine.cache import ResultCache
-from repro.engine.executor import RunExecutor, make_executor
+from repro.engine.executor import RetryPolicy, RunExecutor, make_executor
 from repro.engine.records import RunRecord
 from repro.engine.spec import RunSpec, SweepSpec
 
@@ -50,6 +50,7 @@ class CampaignResult:
     cache_hits: int = 0
     executed: int = 0
     failures: int = 0
+    cache_write_errors: int = 0
     duration_s: float = 0.0
     executor_kind: str = "serial"
 
@@ -64,6 +65,7 @@ class CampaignResult:
             "executed": self.executed,
             "cache_hits": self.cache_hits,
             "failures": self.failures,
+            "cache_write_errors": self.cache_write_errors,
             "duration_s": round(self.duration_s, 3),
             "executor": self.executor_kind,
         }
@@ -87,6 +89,10 @@ class Campaign:
     progress:
         Optional callback invoked with a :class:`ProgressEvent` after every
         completed point (cache hits included).
+    retry:
+        Optional :class:`~repro.engine.executor.RetryPolicy` threaded into the
+        executor built from ``workers`` (ignored when ``workers`` is already a
+        :class:`RunExecutor` instance, which owns its own policy).
     """
 
     def __init__(
@@ -95,6 +101,7 @@ class Campaign:
         cache: ResultCache | str | Path | None = None,
         workers: int | str | RunExecutor | None = None,
         progress: Callable[[ProgressEvent], None] | None = None,
+        retry: RetryPolicy | None = None,
     ):
         if isinstance(sweep, SweepSpec):
             self.specs: list[RunSpec] = sweep.expand()
@@ -103,7 +110,7 @@ class Campaign:
         if isinstance(cache, (str, Path)):
             cache = ResultCache(cache)
         self.cache = cache
-        self.executor: RunExecutor = make_executor(workers)
+        self.executor: RunExecutor = make_executor(workers, retry=retry)
         self.progress = progress
 
     # ------------------------------------------------------------------ run
@@ -139,7 +146,12 @@ class Campaign:
             done += 1
             if record.ok:
                 if self.cache is not None:
-                    self.cache.put(record)
+                    # A failed cache write (disk full, injected ENOSPC) costs
+                    # future reuse, not this campaign's results.
+                    try:
+                        self.cache.put(record)
+                    except OSError:
+                        result.cache_write_errors += 1
             else:
                 result.failures += 1
             if self.progress is not None:

@@ -188,8 +188,26 @@ def build_parser() -> argparse.ArgumentParser:
             help="seeds replicated over every point (default: 0)",
         )
 
+    def add_retry_args(p: argparse.ArgumentParser, scope: str) -> None:
+        p.add_argument(
+            "--max-attempts", type=int, default=None, metavar="N",
+            help=f"total attempts per run before it is quarantined "
+                 f"({scope})",
+        )
+        p.add_argument(
+            "--run-deadline", type=float, default=None, metavar="SECONDS",
+            help="per-run wall-clock budget; a run past it is killed and "
+                 "charged a failed attempt (default: none)",
+        )
+        p.add_argument(
+            "--retry-backoff", type=float, default=None, metavar="SECONDS",
+            help="base re-dispatch delay, doubled per attempt with "
+                 "deterministic jitter",
+        )
+
     sweep = sub.add_parser("sweep", help="run a parameter sweep")
     add_sweep_axis_args(sweep)
+    add_retry_args(sweep, scope="default: 1 — failures are final")
     sweep.add_argument(
         "--workers", "-j", default=None,
         help="process-pool size (default/1: run serially)",
@@ -304,6 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="durable job-store directory (env: REPRO_JOBSTORE_DIR; "
              "default: <cache-dir>/jobs)",
     )
+    add_retry_args(serve, scope="service default: 3; per-job overridable")
     add_cache_args(serve)
 
     def add_client_args(p: argparse.ArgumentParser) -> None:
@@ -317,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
         "submit", help="submit a sweep to a running repro serve daemon"
     )
     add_sweep_axis_args(submit)
+    add_retry_args(submit, scope="default: the daemon's policy")
     add_client_args(submit)
     submit.add_argument(
         "--no-wait", action="store_true",
@@ -438,7 +458,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _retry_overrides(args: argparse.Namespace) -> dict | None:
+    """The retry-policy fields explicitly set on the command line, or None."""
+    overrides: dict = {}
+    if getattr(args, "max_attempts", None) is not None:
+        overrides["max_attempts"] = args.max_attempts
+    if getattr(args, "run_deadline", None) is not None:
+        overrides["deadline_s"] = args.run_deadline
+    if getattr(args, "retry_backoff", None) is not None:
+        overrides["backoff_s"] = args.retry_backoff
+    return overrides or None
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.engine.executor import RetryPolicy
+
     workers = "serial" if args.serial else args.workers
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     completed = {"count": 0}  # progress survives an interrupt for the report
@@ -449,6 +483,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(event.message, flush=True)
 
     try:
+        overrides = _retry_overrides(args)
+        retry = RetryPolicy.from_dict(overrides) if overrides else None
         sweep = SweepSpec(
             experiment_id=args.experiment_id,
             base=dict(args.params),
@@ -456,7 +492,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             zipped=dict(args.zipped),
             seeds=args.seeds,
         )
-        campaign = Campaign(sweep, cache=cache, workers=workers, progress=progress)
+        campaign = Campaign(
+            sweep, cache=cache, workers=workers, progress=progress, retry=retry
+        )
     except (KeyError, ValueError) as exc:
         message = exc.args[0] if exc.args else exc
         print(f"error: {message}", file=sys.stderr)
@@ -535,8 +573,10 @@ def _jobstore_dir(args: argparse.Namespace) -> str:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the persistent campaign service until interrupted."""
+    from repro.engine.executor import RetryPolicy
+    from repro.faults import active_plan
     from repro.serve.api import DEFAULT_HOST, DEFAULT_PORT, ServeDaemon
-    from repro.serve.service import CampaignService
+    from repro.serve.service import DEFAULT_POLICY, CampaignService
 
     if args.no_cache:
         print(
@@ -545,11 +585,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    plan = active_plan()
+    if plan is not None:
+        # A forgotten REPRO_FAULTS in a real deployment would look like
+        # mysterious crashes/hangs; make the chaos plan impossible to miss.
+        print(
+            f"WARNING: fault injection ACTIVE (REPRO_FAULTS): {plan.describe()}",
+            file=sys.stderr, flush=True,
+        )
+    overrides = _retry_overrides(args)
+    policy = RetryPolicy.from_dict(overrides, default=DEFAULT_POLICY) if overrides else None
     service = CampaignService(
         jobstore_dir=_jobstore_dir(args),
         cache_dir=args.cache_dir,
         workers=args.workers,
         max_jobs=args.max_jobs,
+        policy=policy,
     )
     daemon = ServeDaemon(
         service,
@@ -580,13 +631,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _sweep_payload(args: argparse.Namespace) -> dict:
-    return {
+    payload = {
         "experiment_id": args.experiment_id,
         "base": dict(args.params),
         "grid": dict(args.grid),
         "zipped": dict(args.zipped),
         "seeds": list(args.seeds),
     }
+    overrides = _retry_overrides(args)
+    if overrides:
+        payload["policy"] = overrides
+    return payload
 
 
 def _make_client(args: argparse.Namespace):
@@ -650,9 +705,20 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     try:
         if args.job_id is None:
             jobs = client.jobs()
+            health = client.health()
+            pool = health.get("pool", {})
             if args.json:
-                print(json.dumps(jobs, indent=2, sort_keys=True))
-            elif not jobs:
+                print(json.dumps(
+                    {"jobs": jobs, "pool": pool}, indent=2, sort_keys=True
+                ))
+                return 0
+            print(
+                f"workers: {pool.get('alive', '?')}/{pool.get('workers', '?')} alive, "
+                f"{pool.get('respawns', 0)}/{pool.get('max_respawns', '?')} respawns"
+                + (" — DEGRADED (respawn budget spent)" if pool.get("degraded") else ""),
+                file=sys.stderr,
+            )
+            if not jobs:
                 print("no jobs")
             else:
                 rows = [
@@ -689,6 +755,11 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
             ):
                 if key in payload and payload[key] not in (None, ""):
                     print(f"  {key}: {payload[key]}")
+            for entry in payload.get("quarantined", ()) or ():
+                print(
+                    f"  quarantined: {entry.get('label')} after "
+                    f"{entry.get('attempts')} attempts — {entry.get('error')}"
+                )
         return 0
     except ServeError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -777,9 +848,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
         for experiment_id, times in durations.items()
     }
     checkpoints = _checkpoint_report(args.checkpoint_dir)
+    corrupt = cache.quarantined_count()
     if args.json:
         print(json.dumps(
-            {"experiments": per_experiment, "checkpoints": checkpoints},
+            {
+                "experiments": per_experiment,
+                "checkpoints": checkpoints,
+                "corrupt_quarantined": corrupt,
+            },
             indent=2, sort_keys=True,
         ))
         return 0
@@ -816,6 +892,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(format_table(
             ("model checkpoints", "entries", "size_mb", "cache_hits"), rows
         ))
+    if corrupt:
+        print(
+            f"\nWARNING: {corrupt} corrupt cache file(s) quarantined under "
+            f"{cache.corrupt_dir} (recomputed on next access; inspect or delete)"
+        )
     return 0
 
 

@@ -1,17 +1,27 @@
-"""Run-spec executors: serial and process-pool.
+"""Run-spec executors: serial and process-pool, with a run-level failure policy.
 
-:func:`execute_run` is the single unit of work shared by both execution
-strategies — it resolves the experiment, runs it with the spec's parameters
+:func:`execute_run` is the single unit of work shared by every execution
+strategy — it resolves the experiment, runs it with the spec's parameters
 and seed, and wraps the outcome (or the failure) into a
 :class:`~repro.engine.records.RunRecord`.  It is a module-level function so
 the process pool can pickle references to it; only the plain-data
 :class:`~repro.engine.spec.RunSpec` crosses process boundaries.
 
+Failure policy: every executor takes an optional :class:`RetryPolicy`.  A run
+that fails (error record, dead pool worker, or blown per-run deadline) is
+re-executed up to ``max_attempts`` times with capped exponential backoff and
+deterministic jitter; a run that exhausts its attempts is *quarantined* — its
+final error record carries the attempt history in provenance and the sweep
+moves on, so one poison point can never stall or crash-loop a campaign.  The
+default policy (one attempt, no deadline) reproduces the historical behavior
+exactly.
+
 Determinism: each run's randomness is fully derived from ``spec.seed`` (the
 experiment runners thread it through :mod:`repro.utils.rng`), so the same
 spec produces byte-identical payloads whether it executes inline, in a fresh
-process, or in a pool worker that has already run other specs.  Worker
-processes keep per-process caches of trained workloads (see
+process, in a pool worker that has already run other specs — or on the third
+retry after two injected crashes (payloads never depend on attempt count).
+Worker processes keep per-process caches of trained workloads (see
 :mod:`repro.analysis.experiments`), which makes large sweeps dramatically
 cheaper without affecting results.
 """
@@ -19,19 +29,29 @@ cheaper without affecting results.
 from __future__ import annotations
 
 import os
+import time
 from abc import ABC, abstractmethod
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from datetime import datetime, timezone
-from time import perf_counter
+from time import monotonic, perf_counter
 from typing import Hashable, Iterable, Iterator, Sequence
+
+import numpy as np
 
 from repro.engine.records import RunRecord
 from repro.engine.spec import RunSpec, spec_fingerprint
+from repro.faults import fault_point
+from repro.utils.rng import stable_hash
 from repro.utils.validation import check_positive_int
 from repro.version import __version__
 
 __all__ = [
     "execute_run",
+    "failure_record",
+    "RetryPolicy",
     "RunExecutor",
     "StreamExecutor",
     "SerialExecutor",
@@ -39,6 +59,83 @@ __all__ = [
     "make_executor",
     "run_all",
 ]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How an executor (or the serve scheduler) treats a failing run.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total executions allowed per run, including the first.  ``1`` (the
+        default) means failures are final immediately — the historical
+        behavior.  A run that fails ``max_attempts`` times is quarantined:
+        recorded as failed with its attempt history, never dispatched again.
+    backoff_s / backoff_cap_s:
+        Exponential re-dispatch delay: attempt *n* waits
+        ``min(cap, backoff_s * 2**(n-1))``, scaled by deterministic jitter in
+        ``[0.5, 1.0]`` derived from ``(seed, run key, attempt)`` so a fleet
+        of retries never stampedes in lockstep yet stays reproducible.
+    deadline_s:
+        Per-run wall-clock budget.  A run still executing past it is treated
+        as hung: its worker is killed (serve pool) or the pool is rebuilt
+        (process pool) and the run counts a failed attempt.  ``None``: no
+        deadline.
+    seed:
+        Jitter seed.
+    """
+
+    max_attempts: int = 1
+    backoff_s: float = 0.25
+    backoff_cap_s: float = 10.0
+    deadline_s: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.max_attempts, "max_attempts")
+        if self.backoff_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff_s and backoff_cap_s must be >= 0")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {self.deadline_s}")
+
+    def delay_s(self, attempt: int, key: str = "") -> float:
+        """Backoff before re-dispatching after failed attempt ``attempt``."""
+        base = min(self.backoff_cap_s, self.backoff_s * (2 ** max(0, attempt - 1)))
+        if base <= 0:
+            return 0.0
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, stable_hash(key), attempt])
+        )
+        return base * (0.5 + 0.5 * float(rng.random()))
+
+    def to_dict(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "backoff_s": self.backoff_s,
+            "backoff_cap_s": self.backoff_cap_s,
+            "deadline_s": self.deadline_s,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, default: "RetryPolicy | None" = None) -> "RetryPolicy":
+        """Build a policy from a (possibly partial) dict over ``default``."""
+        base = default if default is not None else cls()
+        known = {"max_attempts", "backoff_s", "backoff_cap_s", "deadline_s", "seed"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown retry-policy field(s) {unknown}; accepted: {sorted(known)}"
+            )
+        deadline = data.get("deadline_s", base.deadline_s)
+        return cls(
+            max_attempts=int(data.get("max_attempts", base.max_attempts)),
+            backoff_s=float(data.get("backoff_s", base.backoff_s)),
+            backoff_cap_s=float(data.get("backoff_cap_s", base.backoff_cap_s)),
+            deadline_s=None if deadline is None else float(deadline),
+            seed=int(data.get("seed", base.seed)),
+        )
 
 
 def execute_run(
@@ -49,13 +146,17 @@ def execute_run(
     """Execute one run spec and return its record (never raises).
 
     Failures are captured in the record (``status="error"``) so one bad grid
-    point cannot abort a thousand-point sweep.
+    point cannot abort a thousand-point sweep.  The ``worker.run`` fault
+    point fires here, inside the try block, so an injected ``raise`` surfaces
+    as an ordinary failed record while ``crash``/``hang`` behave exactly like
+    a segfaulting or stuck native call.
     """
     from repro.analysis.experiments import get_experiment
 
     started_at = datetime.now(timezone.utc).isoformat(timespec="seconds")
     start = perf_counter()
     try:
+        fault_point("worker.run", key=spec.label())
         descriptor = get_experiment(spec.experiment_id)
         seed = spec.seed if descriptor.seedable else None
         payload = descriptor.run(spec.params, seed=seed)
@@ -74,6 +175,35 @@ def execute_run(
             "version": version,
             "executor": executor_kind,
             "pid": os.getpid(),
+        },
+    )
+
+
+def failure_record(
+    spec: RunSpec,
+    error: str,
+    executor_kind: str,
+    attempts: int = 1,
+    version: str = __version__,
+) -> RunRecord:
+    """A synthetic error record for a run that produced no record of its own.
+
+    Used when the process executing a run died or was killed at its deadline:
+    there is nobody left to report, so the supervising side records the
+    failure (with its attempt history) on the run's behalf.
+    """
+    return RunRecord(
+        fingerprint=spec_fingerprint(spec, version),
+        spec=spec,
+        payload={},
+        status="error",
+        error=error,
+        started_at=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        provenance={
+            "version": version,
+            "executor": executor_kind,
+            "pid": os.getpid(),
+            "attempts": attempts,
         },
     )
 
@@ -142,10 +272,25 @@ class SerialExecutor(RunExecutor):
 
     kind = "serial"
 
+    def __init__(self, retry: RetryPolicy | None = None):
+        self.retry = retry if retry is not None else RetryPolicy()
+
     def run_specs(self, specs: Sequence[RunSpec]) -> Iterator[tuple[int, RunRecord]]:
         """Yield ``(index, record)`` for every spec, in order."""
         for index, spec in enumerate(specs):
-            yield index, execute_run(spec, executor_kind=self.kind)
+            yield index, self._run_with_retry(spec)
+
+    def _run_with_retry(self, spec: RunSpec) -> RunRecord:
+        policy = self.retry
+        attempt = 0
+        while True:
+            attempt += 1
+            record = execute_run(spec, executor_kind=self.kind)
+            if record.ok or attempt >= policy.max_attempts:
+                if attempt > 1:
+                    record = record.with_provenance(attempts=attempt)
+                return record
+            time.sleep(policy.delay_s(attempt, key=spec.label()))
 
 
 class ProcessPoolRunExecutor(RunExecutor):
@@ -155,51 +300,170 @@ class ProcessPoolRunExecutor(RunExecutor):
     that need spec order reassemble by the yielded index.  ``max_workers``
     defaults to the machine's CPU count capped at 8 — experiment runners are
     NumPy-heavy, so oversubscription beyond physical cores buys nothing.
+
+    Failure policy: a broken pool (a worker process died — OOM killer,
+    segfault, injected crash) is rebuilt and its unfinished runs re-submitted;
+    every run that was in flight is charged a failed attempt (the stdlib pool
+    fails them together, so they all genuinely died), and a run that exhausts
+    :class:`RetryPolicy.max_attempts` is quarantined with a synthetic error
+    record instead of being re-dispatched forever.  Submission is throttled
+    to the worker count so a charged run was actually executing, and each
+    *consecutive* broken rebuild halves the concurrency down to one — under a
+    crash storm one bad run then takes only itself down per incident, so
+    innocent neighbours stop bleeding shared attempts; any successful
+    completion restores full width.  With a ``deadline_s`` the pool is also
+    torn down and rebuilt when any run overstays its wall-clock budget
+    (``ProcessPoolExecutor`` cannot kill a single worker), charging the
+    overdue runs an attempt.  The serve
+    :class:`~repro.serve.workers.WorkerPool` implements the same policy with
+    precise per-worker tracking; this is the best-effort one-shot variant.
     """
 
     kind = "process-pool"
 
-    def __init__(self, max_workers: int | None = None):
+    #: Scheduler poll period while waiting on the pool (seconds) when a
+    #: deadline must be enforced; without a deadline the wait is unbounded.
+    _TICK_S = 0.25
+
+    def __init__(self, max_workers: int | None = None, retry: RetryPolicy | None = None):
         if max_workers is None:
             max_workers = min(os.cpu_count() or 1, 8)
         self.max_workers = check_positive_int(max_workers, "max_workers")
+        self.retry = retry if retry is not None else RetryPolicy()
 
     def run_specs(self, specs: Sequence[RunSpec]) -> Iterator[tuple[int, RunRecord]]:
         """Yield ``(index, record)`` as runs complete across the pool."""
         if not specs:
             return
-        with ProcessPoolExecutor(max_workers=min(self.max_workers, len(specs))) as pool:
-            futures = {
-                pool.submit(execute_run, spec, __version__, self.kind): index
-                for index, spec in enumerate(specs)
-            }
-            pending = set(futures)
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+        policy = self.retry
+        size = min(self.max_workers, len(specs))
+        #: Runs awaiting (re-)submission: (index, spec, attempt-to-run-next).
+        work: deque[tuple[int, RunSpec, int]] = deque(
+            (index, spec, 1) for index, spec in enumerate(specs)
+        )
+        pool = ProcessPoolExecutor(max_workers=size)
+        outstanding: dict = {}  # future -> (index, spec, attempt, submitted_at)
+        #: Consecutive broken rebuilds with no successful completion between
+        #: them.  Halves the submission width each incident (down to one) so
+        #: a crash storm stops charging innocent neighbours — at width one
+        #: the charged run is exactly the one that died.
+        storm = 0
+        try:
+            while work or outstanding:
+                width = max(1, size >> min(storm, 6))
+                while work and len(outstanding) < width:
+                    index, spec, attempt = work.popleft()
+                    if attempt > policy.max_attempts:
+                        yield index, failure_record(
+                            spec,
+                            f"quarantined after {policy.max_attempts} attempts "
+                            "(worker died or deadline exceeded every time)",
+                            self.kind,
+                            attempts=policy.max_attempts,
+                        )
+                        continue
+                    future = pool.submit(execute_run, spec, __version__, self.kind)
+                    outstanding[future] = (index, spec, attempt, monotonic())
+                timeout = self._TICK_S if policy.deadline_s is not None else None
+                done, _ = wait(
+                    set(outstanding), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                broken = False
                 for future in done:
-                    yield futures[future], future.result()
+                    index, spec, attempt, _ = outstanding.pop(future)
+                    try:
+                        record = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        work.append((index, spec, attempt + 1))
+                        continue
+                    storm = 0
+                    if record.ok or attempt >= policy.max_attempts:
+                        if attempt > 1:
+                            record = record.with_provenance(attempts=attempt)
+                        yield index, record
+                    else:
+                        time.sleep(policy.delay_s(attempt, key=spec.label()))
+                        work.append((index, spec, attempt + 1))
+                if broken or self._pool_is_broken(pool):
+                    storm += 1
+                    pool = self._rebuild(pool, outstanding, work, size, reason="broken")
+                elif policy.deadline_s is not None and any(
+                    monotonic() - submitted > policy.deadline_s
+                    for (_, _, _, submitted) in outstanding.values()
+                ):
+                    pool = self._rebuild(
+                        pool, outstanding, work, size,
+                        reason="deadline", deadline_s=policy.deadline_s,
+                    )
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    @staticmethod
+    def _pool_is_broken(pool: ProcessPoolExecutor) -> bool:
+        return getattr(pool, "_broken", False) is not False and bool(
+            getattr(pool, "_broken", False)
+        )
+
+    def _rebuild(
+        self,
+        pool: ProcessPoolExecutor,
+        outstanding: dict,
+        work: deque,
+        size: int,
+        reason: str,
+        deadline_s: float | None = None,
+    ) -> ProcessPoolExecutor:
+        """Tear the pool down and requeue its unfinished runs.
+
+        Submission is throttled to the pool width, so on a break every
+        in-flight run was genuinely executing and is charged an attempt (at
+        most one per worker, oldest first — defensive if the throttle ever
+        over-admits).  On a deadline rebuild only the overdue runs are
+        charged; the rest keep their attempt count.
+        """
+        entries = sorted(outstanding.values(), key=lambda entry: entry[3])
+        outstanding.clear()
+        now = monotonic()
+        for position, (index, spec, attempt, submitted) in enumerate(entries):
+            charge = position < size
+            if reason == "deadline" and deadline_s is not None:
+                charge = now - submitted > deadline_s
+            work.append((index, spec, attempt + 1 if charge else attempt))
+        # A hung worker ignores shutdown(); terminate the processes directly
+        # (best-effort — _processes is stdlib-internal but stable) so the
+        # rebuild does not leak a stuck child per incident.
+        for proc in list(getattr(pool, "_processes", {}).values() or []):
+            try:
+                proc.terminate()
+            except (OSError, AttributeError):
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+        return ProcessPoolExecutor(max_workers=size)
 
 
 def make_executor(
     workers: int | str | RunExecutor | None,
+    retry: RetryPolicy | None = None,
 ) -> RunExecutor:
     """Build an executor from a worker-count knob.
 
     ``None``, ``0``, ``1`` or ``"serial"`` select the serial executor; any
     larger integer selects a process pool of that size.  A ready-made
-    :class:`RunExecutor` instance passes through unchanged, which is how a
-    long-lived shared pool (e.g. the serve daemon's) is threaded into a
+    :class:`RunExecutor` instance passes through unchanged (``retry`` is
+    ignored — a long-lived shared pool owns its own failure policy), which is
+    how the serve daemon's pool is threaded into a
     :class:`~repro.engine.campaign.Campaign`.
     """
     if isinstance(workers, RunExecutor):
         return workers
     if workers == "serial":
-        return SerialExecutor()
+        return SerialExecutor(retry=retry)
     if isinstance(workers, str):
         workers = int(workers)
     if workers in (None, 0, 1):
-        return SerialExecutor()
-    return ProcessPoolRunExecutor(max_workers=workers)
+        return SerialExecutor(retry=retry)
+    return ProcessPoolRunExecutor(max_workers=workers, retry=retry)
 
 
 def run_all(

@@ -65,6 +65,14 @@ class RunRecord:
         """A copy marked as served-from-cache."""
         return replace(self, cached=True)
 
+    def with_provenance(self, **extra: object) -> "RunRecord":
+        """A copy with ``extra`` merged into the provenance mapping.
+
+        Executors use this to stamp retry/attempt bookkeeping onto a record
+        without the run machinery knowing about failure policy.
+        """
+        return replace(self, provenance={**dict(self.provenance), **extra})
+
     # -------------------------------------------------------- serialization
     def to_dict(self) -> dict:
         return {

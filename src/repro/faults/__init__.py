@@ -1,0 +1,47 @@
+"""Deterministic fault injection for chaos-testing the execution stack.
+
+See :mod:`repro.faults.plan` for the full model: named :func:`fault_point`
+call sites across the engine and serve layers, seeded :class:`FaultPlan`
+rules with ``crash`` / ``raise`` / ``hang`` / ``corrupt_write`` / ``enospc``
+effects, and activation either in-process or through the ``REPRO_FAULTS``
+environment variable (which propagates into spawned workers).
+
+Quick start::
+
+    from repro.faults import FaultPlan, FaultRule
+
+    plan = FaultPlan(
+        [FaultRule(point="worker.run", effect="crash", probability=0.3)],
+        seed=7,
+    )
+    with plan.activated(set_env=True):
+        ...  # run a sweep; ~30% of worker runs die mid-flight
+"""
+
+from repro.faults.plan import (
+    EFFECTS,
+    ENV_VAR,
+    FAULT_POINTS,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    activate,
+    active_plan,
+    deactivate,
+    fault_point,
+    load_env_plan,
+)
+
+__all__ = [
+    "EFFECTS",
+    "ENV_VAR",
+    "FAULT_POINTS",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "activate",
+    "active_plan",
+    "deactivate",
+    "fault_point",
+    "load_env_plan",
+]

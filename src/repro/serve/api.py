@@ -17,11 +17,20 @@ Routes (all JSON unless noted):
 * ``GET /results/<id>`` — the job's records read *cache-first*: every point
   is fetched straight from the content-addressed result cache, so repeat
   queries cost ~0 compute whether they hit the same daemon or a fresh one.
-* ``GET /healthz`` — liveness + worker/job counts.
+* ``GET /healthz`` — liveness + worker-pool health (live workers, respawn
+  budget, ``degraded`` flag) + job counts.  The body always answers; clients
+  decide what "degraded" means for them.
 
 The server is a :class:`ThreadingHTTPServer`: handler threads only touch the
 :class:`~repro.serve.service.CampaignService` (which is thread-safe); all
 actual compute happens in the worker processes.
+
+Failure semantics: an :class:`~repro.faults.InjectedFault` at the
+``api.handle`` fault point (chaos testing a flaky front end) maps to **503 +
+Retry-After** — the transient-server-error shape clients are expected to
+retry; any other unexpected handler exception maps to a JSON 500 instead of
+the stdlib's HTML traceback page, so one buggy route can never take the
+daemon thread down silently or leak stack traces to clients.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from threading import Thread
 
+from repro.faults import InjectedFault, fault_point
 from repro.serve.jobstore import TERMINAL_STATES
 from repro.serve.service import AdmissionError, CampaignService
 from repro.utils.validation import ValidationError
@@ -56,6 +66,7 @@ class ServeAPIHandler(BaseHTTPRequestHandler):
         path, _, query = self.path.partition("?")
         parts = [part for part in path.split("/") if part]
         try:
+            fault_point("api.handle", key=f"GET {path}")
             if parts == ["healthz"]:
                 self._send_json(200, self.service.health())
             elif parts == ["jobs"]:
@@ -80,10 +91,15 @@ class ServeAPIHandler(BaseHTTPRequestHandler):
                 self._send_json(404, {"error": f"no route for GET {path}"})
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away mid-response
+        except InjectedFault as exc:
+            self._send_unavailable(exc)
+        except Exception as exc:  # noqa: BLE001 — see module docstring
+            self._send_error(exc)
 
     def do_POST(self) -> None:  # noqa: N802 — http.server API
         parts = [part for part in self.path.split("/") if part]
         try:
+            fault_point("api.handle", key=f"POST {self.path}")
             if parts == ["sweeps"]:
                 self._submit_sweep()
             elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
@@ -94,6 +110,28 @@ class ServeAPIHandler(BaseHTTPRequestHandler):
                     self._send_json(200, job.summary())
             else:
                 self._send_json(404, {"error": f"no route for POST {self.path}"})
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+        except InjectedFault as exc:
+            self._send_unavailable(exc)
+        except Exception as exc:  # noqa: BLE001 — see module docstring
+            self._send_error(exc)
+
+    def _send_unavailable(self, exc: Exception) -> None:
+        """Transient-failure shape (503 + Retry-After): the client should retry."""
+        try:
+            self._send_json(
+                503,
+                {"error": f"temporarily unavailable: {exc}"},
+                headers={"Retry-After": "1"},
+            )
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    def _send_error(self, exc: Exception) -> None:
+        """Terminal-failure shape (JSON 500), replacing stdlib HTML tracebacks."""
+        try:
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
         except (BrokenPipeError, ConnectionResetError):
             pass
 

@@ -5,6 +5,16 @@ and tests talk to the service without any new dependency.  Error responses
 raise :class:`ServeError` carrying the HTTP status and the server's decoded
 JSON error payload, so callers can distinguish "queue full, retry" (429)
 from "bad sweep" (400).
+
+Transient failures are retried transparently with capped exponential backoff
+and deterministic jitter: **429** and **503** responses (honoring the
+server's ``Retry-After`` header) and connection-level errors (daemon
+restarting, socket reset) are re-attempted up to ``retries`` extra times
+before the final :class:`ServeError` surfaces.  Definitive errors — 400 bad
+sweep, 404 unknown job — are never retried.  Jitter is derived from
+``(retry_seed, request, attempt)`` via the same machinery as the engine's
+:class:`~repro.engine.executor.RetryPolicy`, so client behavior in chaos
+tests is reproducible.
 """
 
 from __future__ import annotations
@@ -14,12 +24,16 @@ import time
 import urllib.error
 import urllib.request
 
+from repro.engine.executor import RetryPolicy
 from repro.serve.api import DEFAULT_HOST, DEFAULT_PORT
 from repro.serve.jobstore import TERMINAL_STATES
 
 __all__ = ["ServeClient", "ServeError", "DEFAULT_URL"]
 
 DEFAULT_URL = f"http://{DEFAULT_HOST}:{DEFAULT_PORT}"
+
+#: HTTP statuses that mean "try the same request again shortly".
+_RETRYABLE_STATUSES = (429, 503)
 
 
 class ServeError(RuntimeError):
@@ -32,14 +46,61 @@ class ServeError(RuntimeError):
 
 
 class ServeClient:
-    """Talks JSON to one daemon; every method maps to one endpoint."""
+    """Talks JSON to one daemon; every method maps to one endpoint.
 
-    def __init__(self, url: str = DEFAULT_URL, timeout: float = 30.0):
+    Parameters
+    ----------
+    retries:
+        Extra attempts after the first for retryable failures (429/503/
+        connection errors).  ``0`` disables retrying entirely.
+    backoff_s / backoff_cap_s:
+        Exponential backoff base and ceiling between attempts; a server
+        ``Retry-After`` hint raises (never lowers) the computed delay, still
+        capped at ``backoff_cap_s``.
+    retry_seed:
+        Seed for the deterministic backoff jitter.
+    """
+
+    def __init__(
+        self,
+        url: str = DEFAULT_URL,
+        timeout: float = 30.0,
+        retries: int = 3,
+        backoff_s: float = 0.2,
+        backoff_cap_s: float = 3.0,
+        retry_seed: int = 0,
+    ):
         self.url = url.rstrip("/")
         self.timeout = timeout
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.retries = retries
+        self._backoff = RetryPolicy(
+            max_attempts=retries + 1,
+            backoff_s=backoff_s,
+            backoff_cap_s=backoff_cap_s,
+            seed=retry_seed,
+        )
 
     # ------------------------------------------------------------- plumbing
     def _request(self, method: str, path: str, payload: dict | None = None):
+        key = f"{method} {path}"
+        for attempt in range(1, self.retries + 2):
+            final = attempt > self.retries
+            try:
+                return self._request_once(method, path, payload)
+            except ServeError as exc:
+                retryable = exc.status in _RETRYABLE_STATUSES or exc.status == 0
+                if final or not retryable:
+                    raise
+                delay = self._backoff.delay_s(attempt, key=key)
+                retry_after = exc.payload.get("retry_after")
+                if retry_after is not None:
+                    delay = max(delay, float(retry_after))
+                time.sleep(min(delay, self._backoff.backoff_cap_s))
+        raise AssertionError("unreachable")  # loop always returns or raises
+
+    def _request_once(self, method: str, path: str, payload: dict | None = None):
         data = json.dumps(payload).encode() if payload is not None else None
         request = urllib.request.Request(
             f"{self.url}{path}",
@@ -56,6 +117,12 @@ class ServeClient:
                 error_payload = json.loads(exc.read() or b"{}")
             except json.JSONDecodeError:
                 error_payload = {}
+            retry_after = exc.headers.get("Retry-After") if exc.headers else None
+            if retry_after is not None:
+                try:
+                    error_payload.setdefault("retry_after", float(retry_after))
+                except ValueError:
+                    pass
             message = error_payload.get("error", f"HTTP {exc.code}")
             raise ServeError(message, status=exc.code, payload=error_payload) from exc
         except (urllib.error.URLError, OSError) as exc:
@@ -71,7 +138,11 @@ class ServeClient:
         return self._request("GET", "/healthz")
 
     def submit(self, sweep: dict) -> dict:
-        """``POST /sweeps``; raises :class:`ServeError` with status 429 when full."""
+        """``POST /sweeps``; raises :class:`ServeError` with status 429 when full.
+
+        A 429 is retried with backoff first (it is the service saying "soon");
+        the error only surfaces once the retry budget is spent.
+        """
         return self._request("POST", "/sweeps", payload=sweep)
 
     def jobs(self) -> list[dict]:
@@ -96,6 +167,7 @@ class ServeClient:
         job_id: str,
         timeout: float | None = None,
         poll_s: float = 0.3,
+        max_poll_s: float = 2.0,
         on_event=None,
     ) -> dict:
         """Poll until the job reaches a terminal state; returns its document.
@@ -103,14 +175,22 @@ class ServeClient:
         ``on_event`` (if given) receives every *new* progress line exactly
         once as the wait progresses — the CLI uses it to mirror the sweep
         command's live per-point output.
+
+        The poll interval starts at ``poll_s`` and grows 1.5× per idle poll
+        up to ``max_poll_s``, resetting whenever the job makes progress — so
+        short jobs stay snappy and long waits do not hammer the daemon.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         seen = 0
+        interval = poll_s
+        last_done = -1
         while True:
             if on_event is not None:
                 events = self.events(job_id)
                 for line in events[seen:]:
                     on_event(line)
+                if len(events) > seen:
+                    interval = poll_s  # progress: poll eagerly again
                 seen = len(events)
             job = self.job(job_id)
             if job["state"] in TERMINAL_STATES:
@@ -118,9 +198,13 @@ class ServeClient:
                     for line in self.events(job_id)[seen:]:
                         on_event(line)
                 return job
+            if job.get("done", 0) != last_done:
+                last_done = job.get("done", 0)
+                interval = poll_s
             if deadline is not None and time.monotonic() > deadline:
                 raise ServeError(
                     f"timed out after {timeout}s waiting for job {job_id} "
                     f"({job['done']}/{job['total']} points done)"
                 )
-            time.sleep(poll_s)
+            time.sleep(interval)
+            interval = min(interval * 1.5, max_poll_s)

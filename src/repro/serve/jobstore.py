@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Iterable, Mapping
 
 from repro.engine.spec import RunSpec, canonical_json
+from repro.faults import fault_point
 from repro.utils.serialization import load_json, save_json
 from repro.utils.validation import ValidationError
 from repro.version import __version__
@@ -88,6 +89,15 @@ class JobRecord:
         How many times this job id has been submitted (dedupe counter).
     error:
         Failure summary for ``failed`` jobs.
+    policy:
+        Optional per-job retry-policy overrides as submitted (a partial
+        :class:`~repro.engine.executor.RetryPolicy` dict: ``max_attempts``,
+        ``deadline_s``, ``backoff_s``, …).  Not part of the job identity —
+        the same sweep under a different policy is still the same job.
+    quarantined:
+        Poison runs: points that exhausted their retry budget, recorded as
+        ``{"index", "label", "attempts", "error"}`` so operators can see
+        exactly what was given up on and why.
     """
 
     job_id: str
@@ -106,6 +116,8 @@ class JobRecord:
     submits: int = 1
     error: str | None = None
     note: str = ""
+    policy: Mapping[str, object] = field(default_factory=dict)
+    quarantined: tuple[Mapping[str, object], ...] = ()
 
     def __post_init__(self) -> None:
         if self.state not in JOB_STATES:
@@ -114,6 +126,8 @@ class JobRecord:
             )
         object.__setattr__(self, "sweep", dict(self.sweep))
         object.__setattr__(self, "specs", tuple(dict(s) for s in self.specs))
+        object.__setattr__(self, "policy", dict(self.policy))
+        object.__setattr__(self, "quarantined", tuple(dict(q) for q in self.quarantined))
         if not self.total:
             object.__setattr__(self, "total", len(self.specs))
 
@@ -142,7 +156,9 @@ class JobRecord:
 
         Progress is *not* lost — completed points live in the result cache
         and are re-counted as cache hits when the scheduler activates the
-        job, so only the missing points execute.
+        job, so only the missing points execute.  Quarantined points get a
+        fresh chance (the quarantine list resets); the submitted retry policy
+        sticks with the job.
         """
         return replace(
             self,
@@ -155,6 +171,7 @@ class JobRecord:
             started_at="",
             finished_at="",
             note=note,
+            quarantined=(),
             updated_at=_utc_now(),
         )
 
@@ -177,6 +194,8 @@ class JobRecord:
             "submits": self.submits,
             "error": self.error,
             "note": self.note,
+            "policy": dict(self.policy),
+            "quarantined": [dict(q) for q in self.quarantined],
         }
 
     def summary(self) -> dict:
@@ -206,6 +225,8 @@ class JobRecord:
             submits=int(data.get("submits", 1)),  # type: ignore[arg-type]
             error=data.get("error"),  # type: ignore[arg-type]
             note=str(data.get("note", "")),
+            policy=dict(data.get("policy", {})),  # type: ignore[arg-type]
+            quarantined=tuple(data.get("quarantined", ())),  # type: ignore[arg-type]
         )
 
 
@@ -252,10 +273,35 @@ class JobStore:
 
     # ------------------------------------------------------------ mutation
     def save(self, job: JobRecord) -> JobRecord:
+        """Persist one job document, verified by read-back.
+
+        Every state transition flows through here, so a torn or corrupt
+        write would silently lose job progress.  After each write the
+        document is read back and re-parsed; a write that does not verify is
+        retried (bounded), and the ``jobstore.save`` fault point lets chaos
+        tests inject exactly the corrupt/ENOSPC writes this loop defends
+        against.
+        """
         job = replace(job, updated_at=_utc_now())
+        path = self.path_for(job.job_id)
+        document = job.to_dict()
         with self._lock:
-            save_json(self.path_for(job.job_id), job.to_dict())
-        return job
+            last_error: Exception | None = None
+            for _ in range(3):
+                try:
+                    effect = fault_point("jobstore.save", key=job.job_id)
+                    if effect == "corrupt_write":
+                        text = json.dumps(document)
+                        path.parent.mkdir(parents=True, exist_ok=True)
+                        path.write_text(text[: max(1, len(text) // 3)])
+                    else:
+                        save_json(path, document)
+                    JobRecord.from_dict(load_json(path))
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError) as exc:
+                    last_error = exc
+                    continue
+                return job
+            raise OSError(f"job store write failed for {path}: {last_error}")
 
     def update(self, job_id: str, **fields: object) -> JobRecord:
         """Atomically load-modify-save one job (thread-safe read-modify-write)."""

@@ -13,6 +13,16 @@
   :class:`~repro.serve.workers.WorkerPool` queue (work-stealing across
   concurrently submitted sweeps), drains completions, persists progress after
   every point, and replaces dead workers, re-dispatching their lost tasks;
+* **failure policy** is run-level: every failed execution — an error record,
+  a worker death, a run killed at its wall-clock deadline — charges the point
+  one attempt; the point is re-dispatched with capped exponential backoff up
+  to :class:`~repro.engine.executor.RetryPolicy.max_attempts` total attempts,
+  then **quarantined**: recorded on the job as a poison run (label, attempt
+  history, last error) and counted a failure, so the job still reaches a
+  terminal state instead of crash-looping through the pool's respawn budget.
+  The default policy comes from the service; each submit may override it with
+  a ``"policy"`` object in the payload.  No point is ever dispatched more
+  than ``max_attempts`` times — attempts are counted at dispatch;
 * **recovery** is automatic: on start the store requeues whatever a previous
   daemon left active, and activation re-runs only the points the cache does
   not already hold — a ``kill -9`` mid-campaign costs at most the runs that
@@ -25,11 +35,14 @@ import threading
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
+from time import monotonic
 
 from repro.engine.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.engine.campaign import ProgressEvent
+from repro.engine.executor import RetryPolicy
 from repro.engine.records import RunRecord
 from repro.engine.spec import RunSpec, SweepSpec
+from repro.faults import active_plan
 from repro.serve.jobstore import JobRecord, JobStore, sweep_job_id
 from repro.serve.jobstore import _utc_now as _now
 from repro.serve.workers import WorkerPool
@@ -40,6 +53,10 @@ __all__ = ["CampaignService", "AdmissionError", "DEFAULT_JOBSTORE_DIR", "sweep_f
 
 #: Default job-store location, kept next to the result cache it resumes from.
 DEFAULT_JOBSTORE_DIR = f"{DEFAULT_CACHE_DIR}/jobs"
+
+#: Default service-wide failure policy: three total attempts per run, no
+#: wall-clock deadline (experiments legitimately vary by orders of magnitude).
+DEFAULT_POLICY = RetryPolicy(max_attempts=3, backoff_s=0.5, backoff_cap_s=10.0)
 
 
 class AdmissionError(RuntimeError):
@@ -71,9 +88,16 @@ class _ActiveJob:
 
     job_id: str
     total: int
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
     pending: deque = field(default_factory=deque)  # (index, RunSpec) to dispatch
-    outstanding: dict = field(default_factory=dict)  # index -> RunSpec in flight
+    #: index -> (RunSpec, dispatched monotonic); runs handed to the pool
+    outstanding: dict = field(default_factory=dict)
+    #: (ready monotonic, index, RunSpec); failed runs awaiting their backoff
+    delayed: list = field(default_factory=list)
+    #: index -> total dispatches so far (the <= max_attempts invariant lives here)
+    attempts: dict = field(default_factory=dict)
     completed: set = field(default_factory=set)  # indices accounted for
+    quarantined: list = field(default_factory=list)  # poison-run entries
     done: int = 0
     executed: int = 0
     cache_hits: int = 0
@@ -87,6 +111,15 @@ class _ActiveJob:
             "failures": self.failures,
         }
 
+    def cancel_scheduled(self, index: int) -> None:
+        """Drop any pending/delayed (re-)dispatch of ``index``."""
+        self.pending = deque(
+            (i, spec) for i, spec in self.pending if i != index
+        )
+        self.delayed = [
+            entry for entry in self.delayed if entry[1] != index
+        ]
+
 
 class CampaignService:
     """Durable job queue + shared multi-worker executor + result cache."""
@@ -99,6 +132,8 @@ class CampaignService:
         max_jobs: int = 32,
         version: str = __version__,
         tick_s: float = 0.1,
+        policy: RetryPolicy | None = None,
+        lost_task_grace_s: float = 15.0,
     ):
         self.version = version
         self.store = JobStore(jobstore_dir, version=version)
@@ -110,6 +145,12 @@ class CampaignService:
         )
         self.max_jobs = check_positive_int(max_jobs, "max_jobs")
         self.tick_s = tick_s
+        self.policy = policy if policy is not None else DEFAULT_POLICY
+        #: How long a dispatched-but-never-started run may sit before it is
+        #: requeued.  Covers the rare loss window where a worker died after
+        #: pulling a task but before announcing it (no pid to blame), and
+        #: tasks stranded in the shared queue while every worker was dead.
+        self.lost_task_grace_s = lost_task_grace_s
         self._active: dict[str, _ActiveJob] = {}
         self._lock = threading.RLock()
         self._stop = threading.Event()
@@ -156,14 +197,29 @@ class CampaignService:
         finished ``done`` jobs are returned with their results intact (zero
         new executions), and ``failed``/``cancelled`` jobs are requeued so a
         resubmit resumes them from the cache.
+
+        An optional ``"policy"`` object in the payload overrides the service
+        failure policy for this job (partial dicts are fine — e.g.
+        ``{"policy": {"max_attempts": 5, "deadline_s": 120}}``).  The policy
+        is not part of the job identity.
         """
+        payload = dict(payload)
+        policy_fields = payload.pop("policy", None)
+        if policy_fields is not None:
+            if not isinstance(policy_fields, dict):
+                raise KeyError("sweep field 'policy' must be an object")
+            # Validate eagerly so a bad policy 400s at submit, not mid-run.
+            RetryPolicy.from_dict(policy_fields, default=self.policy)
         sweep = sweep_from_payload(payload)
         specs = sweep.expand(validate=True)
         job_id = sweep_job_id(specs, self.version)
         with self._lock:
             existing = self.store.get(job_id)
             if existing is not None:
-                existing = self.store.update(job_id, submits=existing.submits + 1)
+                updates: dict = {"submits": existing.submits + 1}
+                if policy_fields is not None:
+                    updates["policy"] = dict(policy_fields)
+                existing = self.store.update(job_id, **updates)
                 if existing.state in ("failed", "cancelled"):
                     existing = self.store.save(
                         existing.requeued(note=f"resubmitted after {existing.state}")
@@ -186,6 +242,7 @@ class CampaignService:
                     "seeds": list(sweep.seeds),
                 },
                 specs=tuple(spec.canonical() for spec in specs),
+                policy=dict(policy_fields) if policy_fields is not None else {},
             )
             job = self.store.save(job)
             self.store.clear_events(job_id)
@@ -231,10 +288,12 @@ class CampaignService:
             return None
         records = []
         payloads = []
-        for spec in job.run_specs():
+        quarantined = {int(entry.get("index", -1)) for entry in job.quarantined}
+        for index, spec in enumerate(job.run_specs()):
             record = self.cache.get(spec)
             if record is None:
-                records.append({"label": spec.label(), "status": "missing"})
+                status = "quarantined" if index in quarantined else "missing"
+                records.append({"label": spec.label(), "status": status})
             else:
                 records.append(
                     {
@@ -250,12 +309,18 @@ class CampaignService:
 
     def health(self) -> dict:
         jobs = self.store.jobs()
+        pool = self.pool.health()
+        plan = active_plan()
         return {
-            "status": "ok",
+            "status": "degraded" if pool["degraded"] else "ok",
             "version": self.version,
             "workers": self.pool.workers,
             "workers_alive": self.pool.alive(),
+            "pool": pool,
+            "degraded": pool["degraded"],
             "max_jobs": self.max_jobs,
+            "policy": self.policy.to_dict(),
+            "faults_active": plan.describe() if plan is not None else None,
             "jobs": {
                 state: sum(1 for job in jobs if job.state == state)
                 for state in ("queued", "running", "done", "failed", "cancelled")
@@ -271,6 +336,7 @@ class CampaignService:
                 self._activate_queued()
                 self._dispatch()
                 self._drain()
+                self._enforce_deadlines()
                 self._reap_workers()
             except Exception as exc:  # noqa: BLE001 — scheduler must survive
                 # A scheduler crash would silently freeze every job; log the
@@ -282,13 +348,22 @@ class CampaignService:
                     pass
                 self._stop.wait(self.tick_s)
 
+    def _job_policy(self, job: JobRecord) -> RetryPolicy:
+        """The effective failure policy for one job (service default + overrides)."""
+        try:
+            return RetryPolicy.from_dict(dict(job.policy), default=self.policy)
+        except (ValueError, TypeError):
+            return self.policy  # tampered store document: fall back, don't freeze
+
     def _activate_queued(self) -> None:
         """Move queued store jobs into the scheduler, serving cache hits first."""
         with self._lock:
             for job in self.store.jobs():
                 if job.state != "queued" or job.job_id in self._active:
                     continue
-                state = _ActiveJob(job_id=job.job_id, total=job.total)
+                state = _ActiveJob(
+                    job_id=job.job_id, total=job.total, policy=self._job_policy(job)
+                )
                 for index, spec in enumerate(job.run_specs()):
                     cached = self.cache.get(spec)
                     if cached is not None:
@@ -305,8 +380,23 @@ class CampaignService:
                 self._finish_if_complete(job.job_id, state)
 
     def _dispatch(self) -> None:
-        """Round-robin pending points of every active job onto the shared queue."""
+        """Round-robin pending points of every active job onto the shared queue.
+
+        Delayed retries whose backoff has elapsed rejoin the pending queue
+        first.  Every dispatch charges the point one attempt — which is what
+        makes "no point executes more than ``max_attempts`` times" an
+        invariant by construction rather than a hope.
+        """
+        now = monotonic()
         with self._lock:
+            for state in self._active.values():
+                if not state.delayed:
+                    continue
+                ready = [entry for entry in state.delayed if entry[0] <= now]
+                if ready:
+                    state.delayed = [e for e in state.delayed if e[0] > now]
+                    for _, index, spec in ready:
+                        state.pending.append((index, spec))
             progressing = True
             while progressing:
                 progressing = False
@@ -314,10 +404,18 @@ class CampaignService:
                     if not state.pending:
                         continue
                     index, spec = state.pending[0]
+                    if state.attempts.get(index, 0) >= state.policy.max_attempts:
+                        # Defensive backstop; the failure path quarantines at
+                        # the budget, so dispatch should never see this.
+                        state.pending.popleft()
+                        self._quarantine(state, index, spec, "attempt budget spent")
+                        progressing = True
+                        continue
                     if not self.pool.try_submit((state.job_id, index), spec):
                         return  # shared queue full — resume next tick
                     state.pending.popleft()
-                    state.outstanding[index] = spec
+                    state.attempts[index] = state.attempts.get(index, 0) + 1
+                    state.outstanding[index] = (spec, monotonic())
                     progressing = True
 
     def _drain(self) -> None:
@@ -328,29 +426,151 @@ class CampaignService:
                 state = self._active.get(job_id)
                 if state is None or index in state.completed:
                     continue  # cancelled job or a re-dispatched duplicate
+                if index not in state.outstanding:
+                    # Stale completion: this run was already charged a failure
+                    # (deadline kill, worker presumed dead) and rescheduled —
+                    # but its report survived.  A good result is a result:
+                    # accept it and cancel the redundant retry.  A failed
+                    # stale report adds nothing: the retry path owns it.
+                    if not record.ok:
+                        continue
+                    state.cancel_scheduled(index)
+                    self._complete(job_id, state, index, record)
+                    continue
                 state.outstanding.pop(index, None)
-                state.completed.add(index)
-                state.done += 1
                 state.executed += 1
-                if not record.ok:
-                    state.failures += 1
-                self._emit(job_id, record, state)
-                self.store.update(job_id, **state.counters())
-                self._finish_if_complete(job_id, state)
+                if record.ok:
+                    self._complete(job_id, state, index, record)
+                else:
+                    self._handle_run_failure(
+                        state, index, record.spec, record.error or "run failed"
+                    )
+                    self.store.update(job_id, **state.counters())
             if self._stop.is_set():
                 return
 
+    def _complete(self, job_id: str, state: _ActiveJob, index: int, record: RunRecord) -> None:
+        """Caller holds the lock; account one successfully finished point."""
+        state.completed.add(index)
+        state.done += 1
+        self._emit(job_id, record, state)
+        self.store.update(job_id, **state.counters())
+        self._finish_if_complete(job_id, state)
+
+    def _handle_run_failure(
+        self, state: _ActiveJob, index: int, spec: RunSpec, error: str
+    ) -> None:
+        """Caller holds the lock; retry a failed run or quarantine it.
+
+        ``attempts[index]`` was charged at dispatch, so it already includes
+        the execution that just failed.
+        """
+        attempt = state.attempts.get(index, 0)
+        policy = state.policy
+        if attempt < policy.max_attempts:
+            delay = policy.delay_s(attempt, key=spec.label())
+            state.delayed.append((monotonic() + delay, index, spec))
+            self.store.append_event(
+                state.job_id,
+                f"-- retrying {spec.label()} in {delay:.2f}s "
+                f"(attempt {attempt}/{policy.max_attempts} failed: {error}) --",
+            )
+        else:
+            self._quarantine(state, index, spec, error)
+
+    def _quarantine(self, state: _ActiveJob, index: int, spec: RunSpec, error: str) -> None:
+        """Caller holds the lock; give up on a poison run and move on.
+
+        The point is counted done+failed (the job reaches a terminal state)
+        and recorded on the job document with its attempt history, so
+        ``repro jobs``/``GET /jobs/<id>`` show exactly what was abandoned.
+        """
+        attempts = state.attempts.get(index, 0)
+        state.completed.add(index)
+        state.done += 1
+        state.failures += 1
+        entry = {
+            "index": index,
+            "label": spec.label(),
+            "attempts": attempts,
+            "error": error,
+        }
+        state.quarantined.append(entry)
+        self.store.append_event(
+            state.job_id,
+            f"-- quarantined {spec.label()} after {attempts} attempts: {error} --",
+        )
+        self.store.update(
+            state.job_id,
+            quarantined=tuple(state.quarantined),
+            **state.counters(),
+        )
+        self._finish_if_complete(state.job_id, state)
+
+    def _enforce_deadlines(self) -> None:
+        """Kill runs past their wall-clock deadline; requeue stranded tasks.
+
+        Two sweeps over the dispatch bookkeeping:
+
+        * a run the pool reports *executing* (started announcement) for
+          longer than the job's ``deadline_s`` gets its worker SIGKILLed —
+          indistinguishable from a worker crash, so the same failure path
+          charges the attempt and retries or quarantines;
+        * a run *dispatched* but never announced within ``lost_task_grace_s``
+          (worker died in the narrow pull-to-announce window, or the task is
+          stranded in the queue with every worker dead) is requeued.
+        """
+        now = monotonic()
+        in_flight = self.pool.in_flight()
+        with self._lock:
+            for state in list(self._active.values()):
+                deadline = state.policy.deadline_s
+                for index, (spec, dispatched_at) in list(state.outstanding.items()):
+                    token = (state.job_id, index)
+                    flight = in_flight.get(token)
+                    if flight is not None:
+                        if deadline is not None and now - flight[1] > deadline:
+                            self.pool.kill_for(token)
+                            state.outstanding.pop(index, None)
+                            self._handle_run_failure(
+                                state, index, spec,
+                                f"deadline exceeded ({deadline:.1f}s wall clock)",
+                            )
+                            self.store.update(state.job_id, **state.counters())
+                    elif now - dispatched_at > self.lost_task_grace_s:
+                        state.outstanding.pop(index, None)
+                        state.pending.appendleft((index, spec))
+                        self.store.append_event(
+                            state.job_id,
+                            f"-- requeued {spec.label()}: dispatched but never "
+                            f"started within {self.lost_task_grace_s:.0f}s --",
+                        )
+
     def _reap_workers(self) -> None:
-        """Replace dead workers and re-dispatch the tasks they took with them."""
-        if self.pool.reap() == 0:
+        """Replace dead workers and fail over exactly the runs they hosted.
+
+        The pool names the lost tokens from its started-announcement map, so
+        runs on *surviving* workers are untouched (no duplicate executions)
+        and each lost run flows through the ordinary failure path: charged
+        attempt, backoff retry, quarantine at the budget.
+        """
+        lost = self.pool.reap()
+        if not lost:
             return
         with self._lock:
-            for state in self._active.values():
-                # In-flight tasks of dead workers never report; requeue every
-                # outstanding point (duplicates are filtered by `completed`).
-                while state.outstanding:
-                    index, spec = state.outstanding.popitem()
-                    state.pending.appendleft((index, spec))
+            for token in lost:
+                job_id, index = token
+                state = self._active.get(job_id)
+                if state is None or index in state.completed:
+                    continue
+                entry = state.outstanding.pop(index, None)
+                if entry is None:
+                    continue
+                spec, _ = entry
+                self._handle_run_failure(
+                    state, index, spec, "worker died mid-run"
+                )
+                self.store.update(job_id, **state.counters())
 
     def _emit(self, job_id: str, record: RunRecord, state: _ActiveJob) -> None:
         event = ProgressEvent(record=record, done=state.done, total=state.total)
@@ -370,10 +590,14 @@ class CampaignService:
             state=final,
             finished_at=_now(),
             error=error,
+            quarantined=tuple(state.quarantined),
             **state.counters(),
+        )
+        quarantine_note = (
+            f", {len(state.quarantined)} quarantined" if state.quarantined else ""
         )
         self.store.append_event(
             job_id,
             f"-- {final}: {state.executed} executed, {state.cache_hits} cache hits, "
-            f"{state.failures} failures --",
+            f"{state.failures} failures{quarantine_note} --",
         )

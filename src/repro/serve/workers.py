@@ -9,17 +9,28 @@ sweeps) instead of each sweep spinning up its own process pool.
 Durability properties:
 
 * each worker writes its finished record **through the result cache before
-  reporting completion**, so a daemon (or worker) killed at any moment loses
-  at most the runs physically in flight — everything completed is already
+  reporting completion** — with read-back verification, so a completion
+  report implies the result is durably on disk even when a fault corrupts the
+  first write attempts.  A daemon (or worker) killed at any moment loses at
+  most the runs physically in flight; everything completed is already
   content-addressed on disk and will be served as a cache hit on resume;
+* workers announce each run *before* executing it (``started`` message with
+  their pid) and heartbeat while idle, so the scheduler knows exactly which
+  worker hosts which run — that is what makes per-run wall-clock deadlines
+  enforceable (:meth:`WorkerPool.kill_for`) and lets :meth:`WorkerPool.reap`
+  name the precise tokens a dead worker took with it instead of forcing the
+  service to requeue everything outstanding;
 * workers ignore SIGINT and treat SIGTERM as "finish the current run, then
   exit", so a graceful daemon shutdown never tears a cache write;
-* dead workers are detected by the scheduler (:meth:`WorkerPool.reap`) and
-  replaced, and their in-flight tasks are re-dispatched by the service.
+* dead workers are replaced up to a respawn budget; past it the pool keeps
+  serving with fewer workers and reports itself ``degraded`` through
+  :meth:`health` (surfaced by ``/healthz`` and ``repro jobs``) instead of
+  failing silently.
 
 Workers are spawned (not forked): the daemon process runs HTTP handler
 threads, and forking a threaded process is unreliable; spawn also guarantees
-each worker starts from a clean interpreter, exactly like a fresh CLI run.
+each worker starts from a clean interpreter, exactly like a fresh CLI run —
+including re-reading ``REPRO_FAULTS`` so fault plans propagate.
 """
 
 from __future__ import annotations
@@ -28,6 +39,8 @@ import multiprocessing as mp
 import os
 import queue as queue_module
 import signal
+import time
+from time import monotonic
 from typing import Hashable, Iterator
 
 from repro.engine.cache import ResultCache
@@ -41,6 +54,9 @@ __all__ = ["WorkerPool", "worker_main"]
 
 _STOP = None  # queue sentinel asking a worker to exit
 
+#: Seconds between idle-worker heartbeat messages.
+_HEARTBEAT_S = 2.0
+
 
 def worker_main(
     task_queue: mp.Queue,
@@ -48,11 +64,14 @@ def worker_main(
     cache_dir: str | None,
     version: str,
 ) -> None:
-    """Worker-process loop: pull tasks, run them, cache, report.
+    """Worker-process loop: pull tasks, announce, run, cache, report.
 
     Module-level so the spawn context can import it by reference.  The task
-    payload is ``(token, spec_canonical_dict)`` and the completion payload is
-    ``(token, record_dict)`` — plain data only crosses the process boundary.
+    payload is ``(token, spec_canonical_dict)``; everything flowing back is a
+    tagged tuple — ``("started", token, pid)`` before a run executes,
+    ``("heartbeat", pid, ts)`` while idle, ``("done", token, record_dict)``
+    after the result is durably cached.  Plain data only crosses the process
+    boundary.
     """
     stop = {"flag": False}
 
@@ -64,11 +83,20 @@ def worker_main(
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     signal.signal(signal.SIGTERM, _request_stop)
 
+    pid = os.getpid()
     cache = ResultCache(cache_dir, version=version) if cache_dir else None
+    last_beat = monotonic()
     while not stop["flag"]:
         try:
             task = task_queue.get(timeout=0.2)
         except queue_module.Empty:
+            now = monotonic()
+            if now - last_beat >= _HEARTBEAT_S:
+                last_beat = now
+                try:
+                    result_queue.put(("heartbeat", pid, time.time()))
+                except (ValueError, OSError):
+                    break
             continue
         if task is _STOP:
             break
@@ -78,13 +106,27 @@ def worker_main(
             params=dict(spec_dict.get("params", {})),
             seed=int(spec_dict.get("seed", 0)),
         )
+        # Announce before executing: if this process dies mid-run the
+        # scheduler knows exactly which token went down with it.
+        try:
+            result_queue.put(("started", token, pid))
+        except (ValueError, OSError):
+            break
         record = execute_run(spec, version, executor_kind="serve-worker")
         if cache is not None and record.ok:
-            cache.put(record)  # durable before the completion is reported
+            # Durable (and verified readable) before the completion is
+            # reported.  A cache that cannot be written costs future reuse,
+            # not this run — the record still reaches the scheduler, stamped
+            # with the failure.
+            try:
+                cache.put(record, verify=True)
+            except OSError as exc:
+                record = record.with_provenance(cache_error=str(exc))
         try:
-            result_queue.put((token, record.to_dict()))
+            result_queue.put(("done", token, record.to_dict()))
         except (ValueError, OSError):  # queue closed: daemon is gone
             break
+        last_beat = monotonic()
 
 
 class WorkerPool(StreamExecutor):
@@ -94,6 +136,12 @@ class WorkerPool(StreamExecutor):
     keeps most pending work in its own per-job queues — which is what makes
     cancellation prompt (at most a queue-depth of stale tasks execute) and
     lets it interleave concurrently submitted sweeps fairly.
+
+    The pool tracks which worker pid is executing which token (from the
+    workers' ``started`` announcements), exposing :meth:`in_flight` for
+    deadline sweeps, :meth:`kill_for` to terminate the worker hosting one
+    overdue run, and a :meth:`reap` that returns exactly the tokens lost to
+    dead workers.
     """
 
     kind = "worker-pool"
@@ -109,12 +157,16 @@ class WorkerPool(StreamExecutor):
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.version = version
         self._ctx = mp.get_context("spawn")
-        depth = queue_depth if queue_depth is not None else 2 * self.workers
-        self.task_queue: mp.Queue = self._ctx.Queue(maxsize=depth)
+        self.queue_depth = queue_depth if queue_depth is not None else 2 * self.workers
+        self.task_queue: mp.Queue = self._ctx.Queue(maxsize=self.queue_depth)
         self.result_queue: mp.Queue = self._ctx.Queue()
         self._procs: list[mp.process.BaseProcess] = []
         self._started = False
         self.respawns = 0
+        #: token -> (worker pid, monotonic() at the started announcement)
+        self._in_flight: dict[Hashable, tuple[int, float]] = {}
+        #: worker pid -> monotonic() of its last message of any kind
+        self._last_seen: dict[int, float] = {}
         #: Backstop against a respawn loop when workers die instantly and
         #: deterministically (broken environment): after this many total
         #: replacements the pool stays degraded instead of forking forever.
@@ -135,6 +187,8 @@ class WorkerPool(StreamExecutor):
             daemon=True,
         )
         proc.start()
+        if proc.pid is not None:
+            self._last_seen[proc.pid] = monotonic()
         return proc
 
     def alive(self) -> int:
@@ -144,22 +198,88 @@ class WorkerPool(StreamExecutor):
     def pids(self) -> list[int]:
         return [proc.pid for proc in self._procs if proc.pid is not None]
 
-    def reap(self) -> int:
-        """Replace dead workers; returns how many had to be respawned.
+    @property
+    def degraded(self) -> bool:
+        """True once the respawn budget is spent and capacity is reduced.
 
-        A worker that died mid-run (OOM-killed, segfaulted native code, …)
-        took its in-flight task with it — the caller is responsible for
-        re-dispatching unreported work (the service tracks outstanding
-        tokens per job precisely for this).
+        A degraded pool still serves — with however many workers survive —
+        but operators should know: ``/healthz`` and ``repro jobs`` surface
+        this flag instead of leaving the shrinkage silent.  A stopped pool is
+        not degraded, just stopped.
         """
-        respawned = 0
+        return (
+            self._started
+            and self.respawns >= self.max_respawns
+            and self.alive() < self.workers
+        )
+
+    def reap(self) -> list[Hashable]:
+        """Replace dead workers; returns the tokens their deaths lost.
+
+        A worker that died mid-run (OOM-killed, segfaulted native code,
+        injected crash, or killed by :meth:`kill_for`) took its in-flight
+        task with it — the caller re-dispatches exactly the returned tokens
+        (and only those: runs hosted by surviving workers are untouched).
+        Respawning stops once ``max_respawns`` replacements have been made;
+        the pool then continues degraded rather than forking forever.
+        """
+        lost: list[Hashable] = []
         for index, proc in enumerate(self._procs):
-            if not proc.is_alive() and self.respawns < self.max_respawns:
-                proc.join(timeout=0)
+            if proc.is_alive():
+                continue
+            dead_pid = proc.pid
+            proc.join(timeout=0)
+            if dead_pid is not None:
+                self._last_seen.pop(dead_pid, None)
+                for token, (pid, _) in list(self._in_flight.items()):
+                    if pid == dead_pid:
+                        del self._in_flight[token]
+                        lost.append(token)
+            if self.respawns < self.max_respawns:
                 self._procs[index] = self._spawn()
-                respawned += 1
                 self.respawns += 1
-        return respawned
+        return lost
+
+    # ------------------------------------------------------- run tracking
+    def in_flight(self) -> dict[Hashable, tuple[int, float]]:
+        """Snapshot of ``token -> (worker pid, started monotonic)``."""
+        return dict(self._in_flight)
+
+    def kill_for(self, token: Hashable) -> bool:
+        """SIGKILL the worker hosting ``token`` (deadline enforcement).
+
+        Returns False when the token is not currently announced as running
+        (it may have just completed, or never started).  The killed worker is
+        replaced by the next :meth:`reap`; the *caller* owns re-dispatching
+        or quarantining the run — the token is dropped from in-flight here so
+        the subsequent reap does not double-report it.
+        """
+        entry = self._in_flight.pop(token, None)
+        if entry is None:
+            return False
+        pid, _ = entry
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except (OSError, ProcessLookupError):
+            pass
+        return True
+
+    def health(self) -> dict:
+        """Liveness summary for ``/healthz`` and ``repro jobs``."""
+        now = monotonic()
+        return {
+            "workers": self.workers,
+            "alive": self.alive(),
+            "respawns": self.respawns,
+            "max_respawns": self.max_respawns,
+            "degraded": self.degraded,
+            "in_flight": len(self._in_flight),
+            "last_heartbeat_age_s": (
+                round(now - max(self._last_seen.values()), 3)
+                if self._last_seen
+                else None
+            ),
+        }
 
     # ----------------------------------------------------------- streaming
     def submit(self, token: Hashable, spec: RunSpec) -> None:
@@ -175,29 +295,65 @@ class WorkerPool(StreamExecutor):
         return True
 
     def completions(self, timeout: float | None = None) -> Iterator[tuple[Hashable, RunRecord]]:
-        """Yield ``(token, record)`` pairs as workers report them.
+        """Yield ``(token, record)`` pairs as workers report completions.
 
+        ``started`` and ``heartbeat`` messages are consumed here too — they
+        update the in-flight map and liveness clocks without being yielded.
         With a timeout, stops (instead of raising) once the result queue
         stays empty for that long — the scheduler uses this as its poll tick.
         """
         while True:
             try:
-                token, record_dict = self.result_queue.get(timeout=timeout)
+                message = self.result_queue.get(timeout=timeout)
             except queue_module.Empty:
                 return
-            yield token, RunRecord.from_dict(record_dict)
+            tag = message[0]
+            if tag == "started":
+                _, token, pid = message
+                self._in_flight[token] = (pid, monotonic())
+                self._last_seen[pid] = monotonic()
+            elif tag == "heartbeat":
+                _, pid, _ts = message
+                self._last_seen[pid] = monotonic()
+            elif tag == "done":
+                _, token, record_dict = message
+                entry = self._in_flight.pop(token, None)
+                if entry is not None:
+                    self._last_seen[entry[0]] = monotonic()
+                yield token, RunRecord.from_dict(record_dict)
+            # Unknown tags are ignored: forward compatibility over crashing
+            # the scheduler thread on a version-skewed worker.
 
     # ------------------------------------------------------------- shutdown
     def stop(self, graceful: bool = True, timeout: float = 5.0) -> None:
-        """Stop every worker; graceful lets the current runs finish."""
+        """Stop every worker; graceful lets the current runs finish.
+
+        Graceful delivery must land one ``_STOP`` sentinel per worker even
+        when the bounded task queue is full of stale work: full slots are
+        shed (the tasks are abandoned — the daemon is shutting down) until
+        every sentinel fits.  The previous behavior gave up on the first
+        ``Full`` and left some workers to be SIGTERM'd mid-poll instead of
+        exiting cleanly through their loop.
+        """
         if not self._started:
             return
         if graceful:
-            for _ in self._procs:
+            sentinels = len(self._procs)
+            # Each iteration lands a sentinel, sheds one stale task, or waits
+            # out the queue's feeder thread (an item just put counts against
+            # maxsize before it is readable), so depth + workers (+ margin
+            # for racing workers) bounds the loop.
+            for _ in range(2 * (self.queue_depth + sentinels) + 8):
+                if not sentinels:
+                    break
                 try:
                     self.task_queue.put_nowait(_STOP)
+                    sentinels -= 1
                 except queue_module.Full:
-                    break
+                    try:
+                        self.task_queue.get_nowait()
+                    except queue_module.Empty:
+                        time.sleep(0.01)  # full by count, not yet readable
             for proc in self._procs:
                 if proc.is_alive() and proc.pid is not None:
                     os.kill(proc.pid, signal.SIGTERM)
@@ -208,6 +364,8 @@ class WorkerPool(StreamExecutor):
                 proc.terminate()
                 proc.join(timeout=1.0)
         self._procs.clear()
+        self._in_flight.clear()
+        self._last_seen.clear()
         self._started = False
 
     def close(self) -> None:

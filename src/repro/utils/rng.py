@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["default_rng", "seed_int", "spawn_rngs", "RngFactory"]
+__all__ = ["default_rng", "seed_int", "spawn_rngs", "stable_hash", "RngFactory"]
 
 
 def default_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
@@ -85,10 +85,19 @@ class RngFactory:
         )
 
 
-def _stable_hash(name: str) -> int:
-    """Hash ``name`` into a 32-bit integer that is stable across processes."""
+def stable_hash(name: str) -> int:
+    """Hash ``name`` into a 32-bit integer that is stable across processes.
+
+    Used to derive named child seeds (:class:`RngFactory`), fault-rule rng
+    streams (:mod:`repro.faults`) and retry-backoff jitter — anywhere a string
+    must map to the same seed material in every interpreter.
+    """
     value = 2166136261
     for byte in name.encode("utf-8"):
         value ^= byte
         value = (value * 16777619) % (2**32)
     return value
+
+
+#: Backwards-compatible private alias (pre-1.3 internal name).
+_stable_hash = stable_hash
