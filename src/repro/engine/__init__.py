@@ -32,6 +32,7 @@ from repro.engine.checkpoints import (
 from repro.engine.executor import (
     ProcessPoolRunExecutor,
     RetryPolicy,
+    RunBackend,
     RunExecutor,
     SerialExecutor,
     StreamExecutor,
@@ -57,6 +58,7 @@ __all__ = [
     "RunSpec",
     "SweepSpec",
     "RetryPolicy",
+    "RunBackend",
     "RunExecutor",
     "StreamExecutor",
     "SerialExecutor",

@@ -38,7 +38,14 @@ Subcommands
     Submit a sweep (same ``--grid``/``--zip``/``--set``/``--seeds`` flags as
     ``sweep``) to a running daemon and, by default, wait streaming progress.
 ``jobs``
-    List a daemon's jobs, show/cancel one, or fetch its cached results.
+    List a daemon's jobs (plus worker-pool and per-node cluster health),
+    show/cancel one, or fetch its cached results.
+``node``
+    Run a federated worker node: register with a coordinator daemon, pull
+    runs via time-bounded leases, execute them on a local worker pool, and
+    upload results.  SIGTERM/Ctrl-C drains gracefully (finish leased runs,
+    upload, deregister); a second signal stops hard — held leases then
+    expire on the coordinator and re-dispatch elsewhere.
 
 ``repro --version`` prints the library version that keys the caches.
 
@@ -310,7 +317,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=None, help="bind port (default: 8321)")
     serve.add_argument(
         "--workers", "-j", type=int, default=2,
-        help="worker processes shared by all submitted sweeps (default: 2)",
+        help="local worker processes shared by all submitted sweeps "
+             "(default: 2; 0 = coordinator-only, capacity comes from "
+             "federated repro node agents)",
     )
     serve.add_argument(
         "--max-jobs", type=int, default=32,
@@ -318,9 +327,28 @@ def build_parser() -> argparse.ArgumentParser:
              "get 429 (default: 32)",
     )
     serve.add_argument(
+        "--max-jobs-per-client", type=int, default=None, metavar="N",
+        help="per-client admission bound under --max-jobs, keyed by the "
+             "X-Repro-Client header (default: none)",
+    )
+    serve.add_argument(
         "--jobstore-dir", default=None,
         help="durable job-store directory (env: REPRO_JOBSTORE_DIR; "
              "default: <cache-dir>/jobs)",
+    )
+    serve.add_argument(
+        "--lease-ttl", type=float, default=15.0, metavar="SECONDS",
+        help="federated lease time-to-live; a node must renew within this "
+             "or its runs re-dispatch (default: 15)",
+    )
+    serve.add_argument(
+        "--heartbeat", type=float, default=2.0, metavar="SECONDS",
+        help="heartbeat cadence node agents must follow (default: 2)",
+    )
+    serve.add_argument(
+        "--node-timeout", type=float, default=None, metavar="SECONDS",
+        help="silence before a node is declared dead and its leases requeue "
+             "(default: 5 heartbeats)",
     )
     add_retry_args(serve, scope="service default: 3; per-job overridable")
     add_cache_args(serve)
@@ -331,6 +359,37 @@ def build_parser() -> argparse.ArgumentParser:
             help="daemon base URL (env: REPRO_SERVE_URL; "
                  "default: http://127.0.0.1:8321)",
         )
+        p.add_argument(
+            "--client", default=os.environ.get("REPRO_CLIENT", ""),
+            metavar="NAME",
+            help="client identity sent as X-Repro-Client for per-client "
+                 "quotas (env: REPRO_CLIENT; default: anonymous)",
+        )
+
+    node = sub.add_parser(
+        "node", help="run a federated worker node against a coordinator daemon"
+    )
+    node.add_argument(
+        "--coordinator", default=os.environ.get("REPRO_SERVE_URL", None),
+        metavar="URL",
+        help="coordinator base URL (env: REPRO_SERVE_URL; "
+             "default: http://127.0.0.1:8321)",
+    )
+    node.add_argument(
+        "--workers", "-j", type=int, default=2,
+        help="local worker processes this node contributes (default: 2)",
+    )
+    node.add_argument(
+        "--node-id", default=None,
+        help="stable node identity (default: <hostname>-<pid>)",
+    )
+    node.add_argument(
+        "--cache-dir", default=os.environ.get("REPRO_CACHE_DIR", None),
+        help="optional local result cache for the node's workers (env: "
+             "REPRO_CACHE_DIR; results are always uploaded to the "
+             "coordinator's cache — sharing one directory on the same host "
+             "makes local runs cache hits too)",
+    )
 
     submit = sub.add_parser(
         "submit", help="submit a sweep to a running repro serve daemon"
@@ -595,12 +654,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     overrides = _retry_overrides(args)
     policy = RetryPolicy.from_dict(overrides, default=DEFAULT_POLICY) if overrides else None
+    if args.workers < 0:
+        print("error: --workers must be >= 0", file=sys.stderr)
+        return 2
     service = CampaignService(
         jobstore_dir=_jobstore_dir(args),
         cache_dir=args.cache_dir,
         workers=args.workers,
         max_jobs=args.max_jobs,
+        max_jobs_per_client=args.max_jobs_per_client,
         policy=policy,
+        lease_ttl_s=args.lease_ttl,
+        heartbeat_s=args.heartbeat,
+        node_timeout_s=args.node_timeout,
     )
     daemon = ServeDaemon(
         service,
@@ -610,9 +676,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     recovered = service.start()  # recover before accepting traffic
     for job in recovered:
         print(f"resuming job {job.job_id} ({job.total} points)", file=sys.stderr)
+    workers_note = (
+        f"{args.workers} local workers" if args.workers else "coordinator-only"
+    )
     print(
         f"repro serve listening on {daemon.url} "
-        f"({args.workers} workers, cache {service.cache.root}, "
+        f"({workers_note}, cache {service.cache.root}, "
         f"jobs {service.store.root})",
         file=sys.stderr, flush=True,
     )
@@ -647,11 +716,13 @@ def _sweep_payload(args: argparse.Namespace) -> dict:
 def _make_client(args: argparse.Namespace):
     from repro.serve.client import DEFAULT_URL, ServeClient
 
-    return ServeClient(args.url or DEFAULT_URL)
+    return ServeClient(
+        args.url or DEFAULT_URL, client=getattr(args, "client", "") or ""
+    )
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
-    from repro.serve.client import ServeError
+    from repro.serve.client import JobFailedError, ServeError
 
     client = _make_client(args)
     try:
@@ -677,6 +748,19 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             print(line, flush=True)
     try:
         job = client.wait(job["job_id"], timeout=args.timeout, on_event=on_event)
+    except JobFailedError as exc:
+        # The campaign reached a bad terminal state (distinct from transport
+        # errors): report what was given up on and exit non-zero.
+        print(f"error: {exc}", file=sys.stderr)
+        for entry in exc.quarantined:
+            print(
+                f"  quarantined: {entry.get('label')} after "
+                f"{entry.get('attempts')} attempts — {entry.get('error')}",
+                file=sys.stderr,
+            )
+        if args.json:
+            print(json.dumps(exc.job, indent=2, sort_keys=True))
+        return 1
     except ServeError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -707,9 +791,12 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
             jobs = client.jobs()
             health = client.health()
             pool = health.get("pool", {})
+            nodes = health.get("nodes", [])
             if args.json:
                 print(json.dumps(
-                    {"jobs": jobs, "pool": pool}, indent=2, sort_keys=True
+                    {"jobs": jobs, "pool": pool, "nodes": nodes,
+                     "degraded": health.get("degraded", False)},
+                    indent=2, sort_keys=True,
                 ))
                 return 0
             print(
@@ -718,6 +805,30 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
                 + (" — DEGRADED (respawn budget spent)" if pool.get("degraded") else ""),
                 file=sys.stderr,
             )
+            for entry in nodes:
+                flags = "".join(
+                    f" [{flag}]"
+                    for flag, on in (
+                        ("draining", entry.get("draining")),
+                        ("quarantined", entry.get("quarantined")),
+                    )
+                    if on
+                )
+                print(
+                    f"node {entry['node_id']}: {entry['state']}, "
+                    f"{entry['leases']} leased / {entry['workers']} workers, "
+                    f"{entry['completed']} completed, "
+                    f"last heartbeat {entry['last_heartbeat_age_s']}s ago"
+                    f"{flags}",
+                    file=sys.stderr,
+                )
+            if health.get("degraded") and any(
+                entry["state"] in ("dead", "quarantined") for entry in nodes
+            ):
+                print(
+                    "cluster DEGRADED: dead or quarantined node(s) above",
+                    file=sys.stderr,
+                )
             if not jobs:
                 print("no jobs")
             else:
@@ -764,6 +875,60 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     except ServeError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+
+
+def _cmd_node(args: argparse.Namespace) -> int:
+    """Run a federated worker node until drained or stopped."""
+    from repro.faults import active_plan
+    from repro.serve.client import DEFAULT_URL
+    from repro.serve.federation import NodeAgent
+
+    plan = active_plan()
+    if plan is not None:
+        print(
+            f"WARNING: fault injection ACTIVE (REPRO_FAULTS): {plan.describe()}",
+            file=sys.stderr, flush=True,
+        )
+    agent = NodeAgent(
+        coordinator=args.coordinator or DEFAULT_URL,
+        workers=args.workers,
+        node_id=args.node_id or "",
+        cache_dir=args.cache_dir,
+    )
+
+    signals = {"count": 0}
+
+    def _on_signal(signum, frame):  # noqa: ARG001 — signal signature
+        signals["count"] += 1
+        if signals["count"] == 1:
+            print(
+                "\ndraining: finishing leased runs, then deregistering "
+                "(signal again to stop hard)",
+                file=sys.stderr, flush=True,
+            )
+            agent.request_drain()
+        else:
+            agent.stop()
+
+    try:
+        signal.signal(signal.SIGTERM, _on_signal)
+        signal.signal(signal.SIGINT, _on_signal)
+    except ValueError:
+        pass  # not the main thread (tests): drain via the agent API instead
+    print(
+        f"repro node {agent.node_id}: {args.workers} workers -> "
+        f"{agent.coordinator}",
+        file=sys.stderr, flush=True,
+    )
+    abandoned = agent.run()
+    stats = agent.stats
+    print(
+        f"node {agent.node_id} exiting: {stats['executed']} executed, "
+        f"{stats['uploaded']} uploaded, {stats['fenced']} fenced, "
+        f"{abandoned} abandoned",
+        file=sys.stderr, flush=True,
+    )
+    return 0 if not abandoned else EXIT_INTERRUPTED
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
@@ -1013,6 +1178,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_bench(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "node":
+            return _cmd_node(args)
         if args.command == "submit":
             return _cmd_submit(args)
         if args.command == "jobs":

@@ -52,6 +52,7 @@ __all__ = [
     "execute_run",
     "failure_record",
     "RetryPolicy",
+    "RunBackend",
     "RunExecutor",
     "StreamExecutor",
     "SerialExecutor",
@@ -265,6 +266,62 @@ class StreamExecutor(RunExecutor):
                 remaining -= 1
                 if not remaining:
                     return
+
+
+class RunBackend(StreamExecutor):
+    """A supervisable :class:`StreamExecutor` the serve scheduler can drive.
+
+    The scheduler's failure policy needs more than submit/drain: it must see
+    which runs are physically executing (to enforce wall-clock deadlines),
+    kill or fence one overdue run, and learn exactly which runs a dead
+    executor lost so it can charge attempts and re-dispatch.  Everything the
+    scheduler does flows through this interface, which is what lets it treat
+    the local :class:`~repro.serve.workers.WorkerPool` and remote federated
+    nodes (:class:`~repro.serve.federation.FederationBackend`) uniformly:
+    a run leased to a machine across the network and a run handed to a child
+    process are the same thing to the failure policy.
+    """
+
+    #: Short name used in dispatch bookkeeping and health documents.
+    backend_name: str = "backend"
+
+    @abstractmethod
+    def try_submit(self, token: Hashable, spec: RunSpec) -> bool:
+        """Non-blocking submit; False when the backend has no capacity now."""
+
+    @abstractmethod
+    def in_flight(self) -> dict:
+        """Snapshot ``token -> (host id, started monotonic)`` of executing runs.
+
+        The host id is backend-specific (a worker pid, a node id); callers
+        only rely on the second element for deadline math.
+        """
+
+    @abstractmethod
+    def kill_for(self, token: Hashable) -> bool:
+        """Stop (or fence off) the execution of one run; False if unknown.
+
+        After a successful call the backend must never report a completion
+        for this token's current execution — the caller owns its retry.
+        """
+
+    @abstractmethod
+    def reap(self) -> list:
+        """Detect dead executors; return the tokens their deaths lost."""
+
+    def withdraw(self, token: Hashable) -> bool:
+        """Take back a submitted-but-not-yet-executing run, if possible.
+
+        Backends that queue work where it can still be recalled (e.g. a
+        claimable lease pool) return True and drop the run; backends whose
+        queues cannot be recalled (an OS pipe to worker processes) return
+        False and the caller falls back to stale-completion handling.
+        """
+        return False
+
+    def health(self) -> dict:
+        """Liveness/capacity summary for ``/healthz``-style reporting."""
+        return {}
 
 
 class SerialExecutor(RunExecutor):

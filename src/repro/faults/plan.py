@@ -10,13 +10,19 @@ a seeded :mod:`repro.utils.rng` stream — whether each call fires an effect.
 
 Fault points instrumented across the library:
 
-=================  ==========================================================
-``worker.run``     inside :func:`repro.engine.executor.execute_run`, i.e. in
-                   every executor (serial, process pool, serve workers)
-``cache.put``      :meth:`repro.engine.cache.ResultCache.put` write step
-``jobstore.save``  :meth:`repro.serve.jobstore.JobStore.save` write step
-``api.handle``     the serve daemon's HTTP request dispatch
-=================  ==========================================================
+====================  =======================================================
+``worker.run``        inside :func:`repro.engine.executor.execute_run`, i.e.
+                      in every executor (serial, process pool, serve workers)
+``cache.put``         :meth:`repro.engine.cache.ResultCache.put` write step
+``jobstore.save``     :meth:`repro.serve.jobstore.JobStore.save` write step
+``api.handle``        the serve daemon's HTTP request dispatch
+``node.heartbeat``    a federated node agent's coordinator heartbeat send
+                      (``raise`` = the heartbeat is lost in the network — a
+                      partition as the coordinator sees it)
+``node.lease_renew``  a node agent's lease renewal send
+``node.upload``       a node agent's result upload (``corrupt_write`` = the
+                      request body is torn mid-transfer)
+====================  =======================================================
 
 Effects:
 
@@ -97,7 +103,15 @@ EFFECTS = ("crash", "raise", "hang", "corrupt_write", "enospc")
 
 #: The fault points instrumented in-tree.  Rules may name other points too
 #: (tests and plugins can instrument their own code with :func:`fault_point`).
-FAULT_POINTS = ("worker.run", "cache.put", "jobstore.save", "api.handle")
+FAULT_POINTS = (
+    "worker.run",
+    "cache.put",
+    "jobstore.save",
+    "api.handle",
+    "node.heartbeat",
+    "node.lease_renew",
+    "node.upload",
+)
 
 
 class InjectedFault(RuntimeError):

@@ -17,12 +17,24 @@ Turns the one-shot campaign engine into a long-running system:
   ``GET /results/<id>``, …).
 * :mod:`repro.serve.client` — :class:`ServeClient`, the urllib client the
   ``repro submit`` / ``repro jobs`` commands use.
+* :mod:`repro.serve.federation` — multi-node execution:
+  :class:`FederationBackend` (coordinator-side lease manager behind the
+  :class:`~repro.engine.executor.RunBackend` interface) and
+  :class:`NodeAgent` (the ``repro node`` remote-worker loop).
 
-Start a daemon with ``repro serve``; submit work with ``repro submit``.
+Start a daemon with ``repro serve``; submit work with ``repro submit``;
+attach remote capacity with ``repro node --coordinator URL``.
 """
 
 from repro.serve.api import DEFAULT_HOST, DEFAULT_PORT, ServeDaemon
-from repro.serve.client import DEFAULT_URL, ServeClient, ServeError
+from repro.serve.client import DEFAULT_URL, JobFailedError, ServeClient, ServeError
+from repro.serve.federation import (
+    FederationBackend,
+    FencedLeaseError,
+    NodeAgent,
+    NodeGoneError,
+    UnknownNodeError,
+)
 from repro.serve.jobstore import JobRecord, JobStore, sweep_job_id
 from repro.serve.service import (
     DEFAULT_JOBSTORE_DIR,
@@ -39,11 +51,17 @@ __all__ = [
     "DEFAULT_JOBSTORE_DIR",
     "DEFAULT_PORT",
     "DEFAULT_URL",
+    "FederationBackend",
+    "FencedLeaseError",
+    "JobFailedError",
     "JobRecord",
     "JobStore",
+    "NodeAgent",
+    "NodeGoneError",
     "ServeClient",
     "ServeDaemon",
     "ServeError",
+    "UnknownNodeError",
     "WorkerPool",
     "sweep_from_payload",
     "sweep_job_id",

@@ -28,7 +28,7 @@ from repro.engine.executor import RetryPolicy
 from repro.serve.api import DEFAULT_HOST, DEFAULT_PORT
 from repro.serve.jobstore import TERMINAL_STATES
 
-__all__ = ["ServeClient", "ServeError", "DEFAULT_URL"]
+__all__ = ["ServeClient", "ServeError", "JobFailedError", "DEFAULT_URL"]
 
 DEFAULT_URL = f"http://{DEFAULT_HOST}:{DEFAULT_PORT}"
 
@@ -45,6 +45,34 @@ class ServeError(RuntimeError):
         self.payload = payload or {}
 
 
+class JobFailedError(ServeError):
+    """A job reached a *failed*/*cancelled* terminal state.
+
+    Raised by :meth:`ServeClient.wait` so callers can tell "the campaign
+    finished badly" apart from transport-level :class:`ServeError`\\ s (which
+    carry an HTTP status).  Carries the full job document and the
+    quarantined-point list — exactly which runs were given up on and why.
+    """
+
+    def __init__(self, job: dict):
+        self.job = dict(job)
+        self.state = str(job.get("state", ""))
+        self.quarantined = [dict(entry) for entry in job.get("quarantined", ())]
+        detail = job.get("error") or job.get("note") or ""
+        labels = ", ".join(
+            str(entry.get("label", "?")) for entry in self.quarantined[:3]
+        )
+        if labels:
+            more = len(self.quarantined) - 3
+            detail += f" (quarantined: {labels}{f' +{more} more' if more > 0 else ''})"
+        message = f"job {job.get('job_id', '?')} {self.state}"
+        super().__init__(
+            f"{message}: {detail}" if detail else message,
+            status=0,
+            payload=self.job,
+        )
+
+
 class ServeClient:
     """Talks JSON to one daemon; every method maps to one endpoint.
 
@@ -59,6 +87,10 @@ class ServeClient:
         capped at ``backoff_cap_s``.
     retry_seed:
         Seed for the deterministic backoff jitter.
+    client:
+        Self-declared client identity, sent as ``X-Repro-Client`` on every
+        request — the key the daemon's per-client admission quota charges.
+        Empty means anonymous (all anonymous callers share one quota bucket).
     """
 
     def __init__(
@@ -69,9 +101,11 @@ class ServeClient:
         backoff_s: float = 0.2,
         backoff_cap_s: float = 3.0,
         retry_seed: int = 0,
+        client: str = "",
     ):
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.client = str(client)
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
         self.retries = retries
@@ -102,11 +136,11 @@ class ServeClient:
 
     def _request_once(self, method: str, path: str, payload: dict | None = None):
         data = json.dumps(payload).encode() if payload is not None else None
+        headers = {"Content-Type": "application/json"} if data else {}
+        if self.client:
+            headers["X-Repro-Client"] = self.client
         request = urllib.request.Request(
-            f"{self.url}{path}",
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"} if data else {},
+            f"{self.url}{path}", data=data, method=method, headers=headers
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
@@ -161,6 +195,86 @@ class ServeClient:
     def results(self, job_id: str) -> dict:
         return self._request("GET", f"/results/{job_id}")
 
+    # ----------------------------------------------------------- federation
+    def nodes(self) -> list[dict]:
+        return self._request("GET", "/nodes")["nodes"]
+
+    def register_node(
+        self, node_id: str, workers: int = 1, host: str = "", pid: int | None = None
+    ) -> dict:
+        return self._request(
+            "POST",
+            "/nodes",
+            payload={"node_id": node_id, "workers": workers, "host": host, "pid": pid},
+        )
+
+    def node_heartbeat(self, node_id: str) -> dict:
+        return self._request("POST", f"/nodes/{node_id}/heartbeat", payload={})
+
+    def drain_node(self, node_id: str) -> dict:
+        return self._request("POST", f"/nodes/{node_id}/drain", payload={})
+
+    def deregister_node(self, node_id: str) -> dict:
+        return self._request("POST", f"/nodes/{node_id}/deregister", payload={})
+
+    def claim_leases(self, node_id: str, max_runs: int = 1) -> list[dict]:
+        answer = self._request(
+            "POST", "/leases", payload={"node_id": node_id, "max_runs": max_runs}
+        )
+        return list(answer.get("leases", ()))
+
+    def renew_lease(self, lease_id: str, node_id: str, token: str) -> dict:
+        return self._request(
+            "POST",
+            f"/leases/{lease_id}/renew",
+            payload={"node_id": node_id, "token": token},
+        )
+
+    def upload_result(
+        self, lease_id: str, node_id: str, token: str, record: dict
+    ) -> dict:
+        return self._request(
+            "POST",
+            f"/leases/{lease_id}/result",
+            payload={"node_id": node_id, "token": token, "record": record},
+        )
+
+    # ------------------------------------------------------------ streaming
+    def stream_events(self, job_id: str, longpoll: bool = False):
+        """Yield the job's progress lines live until it reaches a terminal state.
+
+        Consumes the chunked ``?follow=1`` stream (``longpoll=True`` asks for
+        the unframed fallback instead); ``: keep-alive`` comment lines are
+        filtered out.  The per-read socket timeout is ``self.timeout`` — the
+        server's keep-alive cadence (~1s) keeps an idle but healthy stream
+        alive indefinitely, while a dead daemon still times out.
+        """
+        query = "follow=1&longpoll=1" if longpoll else "follow=1"
+        headers = {"X-Repro-Client": self.client} if self.client else {}
+        request = urllib.request.Request(
+            f"{self.url}/jobs/{job_id}/events?{query}", headers=headers
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                for raw in response:
+                    line = raw.decode(errors="replace").rstrip("\n")
+                    if not line or line.startswith(":"):
+                        continue  # blank or keep-alive comment
+                    yield line
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read() or b"{}")
+            except json.JSONDecodeError:
+                payload = {}
+            raise ServeError(
+                payload.get("error", f"HTTP {exc.code}"), status=exc.code,
+                payload=payload,
+            ) from exc
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServeError(
+                f"event stream for job {job_id} broke: {exc}"
+            ) from exc
+
     # ------------------------------------------------------------ waiting
     def wait(
         self,
@@ -169,6 +283,7 @@ class ServeClient:
         poll_s: float = 0.3,
         max_poll_s: float = 2.0,
         on_event=None,
+        raise_on_failure: bool = True,
     ) -> dict:
         """Poll until the job reaches a terminal state; returns its document.
 
@@ -179,6 +294,14 @@ class ServeClient:
         The poll interval starts at ``poll_s`` and grows 1.5× per idle poll
         up to ``max_poll_s``, resetting whenever the job makes progress — so
         short jobs stay snappy and long waits do not hammer the daemon.
+
+        A job ending ``failed`` or ``cancelled`` raises
+        :class:`JobFailedError` (carrying the job document and its
+        quarantined-point list) so callers cannot mistake a bad campaign for
+        a good one; pass ``raise_on_failure=False`` to get the terminal
+        document back regardless, as earlier versions did.  Transport
+        problems keep raising plain :class:`ServeError` — the two failure
+        modes are now different types.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         seen = 0
@@ -197,6 +320,8 @@ class ServeClient:
                 if on_event is not None:
                     for line in self.events(job_id)[seen:]:
                         on_event(line)
+                if raise_on_failure and job["state"] in ("failed", "cancelled"):
+                    raise JobFailedError(job)
                 return job
             if job.get("done", 0) != last_done:
                 last_done = job.get("done", 0)

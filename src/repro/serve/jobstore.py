@@ -98,6 +98,10 @@ class JobRecord:
         Poison runs: points that exhausted their retry budget, recorded as
         ``{"index", "label", "attempts", "error"}`` so operators can see
         exactly what was given up on and why.
+    client:
+        The submitting client's self-declared identity (``X-Repro-Client``
+        header); the key the per-client admission quota charges.  ``""`` for
+        anonymous submits.  Not part of the job identity.
     """
 
     job_id: str
@@ -118,6 +122,7 @@ class JobRecord:
     note: str = ""
     policy: Mapping[str, object] = field(default_factory=dict)
     quarantined: tuple[Mapping[str, object], ...] = ()
+    client: str = ""
 
     def __post_init__(self) -> None:
         if self.state not in JOB_STATES:
@@ -196,6 +201,7 @@ class JobRecord:
             "note": self.note,
             "policy": dict(self.policy),
             "quarantined": [dict(q) for q in self.quarantined],
+            "client": self.client,
         }
 
     def summary(self) -> dict:
@@ -227,6 +233,7 @@ class JobRecord:
             note=str(data.get("note", "")),
             policy=dict(data.get("policy", {})),  # type: ignore[arg-type]
             quarantined=tuple(data.get("quarantined", ())),  # type: ignore[arg-type]
+            client=str(data.get("client", "")),
         )
 
 

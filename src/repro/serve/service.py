@@ -27,6 +27,15 @@
   daemon left active, and activation re-runs only the points the cache does
   not already hold — a ``kill -9`` mid-campaign costs at most the runs that
   were physically in flight.
+
+Execution capacity is a list of :class:`~repro.engine.executor.RunBackend`
+instances driven uniformly: the local :class:`~repro.serve.workers.WorkerPool`
+(when ``workers > 0``) and the :class:`~repro.serve.federation.FederationBackend`
+holding remote ``repro node`` agents behind time-bounded leases.  The
+scheduler neither knows nor cares where a run executes — dispatch tries each
+backend in order, deadlines kill through the owning backend (SIGKILL locally,
+lease revocation remotely), and lost runs (dead worker, expired lease, dead
+node) all flow through the same attempt-charged failure path.
 """
 
 from __future__ import annotations
@@ -43,6 +52,7 @@ from repro.engine.executor import RetryPolicy
 from repro.engine.records import RunRecord
 from repro.engine.spec import RunSpec, SweepSpec
 from repro.faults import active_plan
+from repro.serve.federation import FederationBackend
 from repro.serve.jobstore import JobRecord, JobStore, sweep_job_id
 from repro.serve.jobstore import _utc_now as _now
 from repro.serve.workers import WorkerPool
@@ -134,16 +144,42 @@ class CampaignService:
         tick_s: float = 0.1,
         policy: RetryPolicy | None = None,
         lost_task_grace_s: float = 15.0,
+        max_jobs_per_client: int | None = None,
+        lease_ttl_s: float = 15.0,
+        heartbeat_s: float = 2.0,
+        node_timeout_s: float | None = None,
+        node_quarantine_after: int = 5,
     ):
         self.version = version
         self.store = JobStore(jobstore_dir, version=version)
         self.cache = ResultCache(cache_dir, version=version)
-        self.pool = WorkerPool(
-            workers=check_positive_int(workers, "workers"),
+        #: ``workers=0`` runs a coordinator-only daemon: no local pool, all
+        #: capacity comes from federated ``repro node`` agents.
+        self.pool: WorkerPool | None = None
+        if workers:
+            self.pool = WorkerPool(
+                workers=check_positive_int(workers, "workers"),
+                cache_dir=str(cache_dir),
+                version=version,
+            )
+        self.federation = FederationBackend(
             cache_dir=str(cache_dir),
             version=version,
+            lease_ttl_s=lease_ttl_s,
+            heartbeat_s=heartbeat_s,
+            node_timeout_s=node_timeout_s,
+            quarantine_after=node_quarantine_after,
         )
+        #: Dispatch order: local pool first (no network hop), then remotes.
+        self.backends = [
+            backend for backend in (self.pool, self.federation) if backend is not None
+        ]
         self.max_jobs = check_positive_int(max_jobs, "max_jobs")
+        self.max_jobs_per_client = (
+            check_positive_int(max_jobs_per_client, "max_jobs_per_client")
+            if max_jobs_per_client is not None
+            else None
+        )
         self.tick_s = tick_s
         self.policy = policy if policy is not None else DEFAULT_POLICY
         #: How long a dispatched-but-never-started run may sit before it is
@@ -164,7 +200,8 @@ class CampaignService:
             return []
         self._started = True
         recovered = self.store.recover()
-        self.pool.start()
+        if self.pool is not None:
+            self.pool.start()
         self._thread = threading.Thread(
             target=self._scheduler_loop, name="repro-serve-scheduler", daemon=True
         )
@@ -178,7 +215,8 @@ class CampaignService:
         self._stop.set()
         if self._thread is not None:
             self._thread.join(timeout=10.0)
-        self.pool.stop(graceful=graceful)
+        if self.pool is not None:
+            self.pool.stop(graceful=graceful)
         with self._lock:
             for job_id in list(self._active):
                 del self._active[job_id]
@@ -189,8 +227,15 @@ class CampaignService:
         self._started = False
 
     # -------------------------------------------------------------- submit
-    def submit(self, payload: dict) -> tuple[JobRecord, bool]:
+    def submit(self, payload: dict, client: str = "") -> tuple[JobRecord, bool]:
         """Submit a sweep; returns ``(job, created)``.
+
+        ``client`` is the caller's self-declared identity (the
+        ``X-Repro-Client`` header): when the service was started with
+        ``max_jobs_per_client``, each identity gets its own active-job bound
+        *under* the global ``max_jobs`` one, so one noisy client cannot
+        starve the queue for everyone.  Anonymous submits share the ``""``
+        identity.
 
         Identical sweeps (same expanded specs under this version) dedupe to
         the existing job whatever its state: active jobs are simply returned,
@@ -226,12 +271,23 @@ class CampaignService:
                     )
                     self.store.append_event(job_id, "-- resubmitted, resuming --")
                 return existing, False
-            active_jobs = sum(1 for job in self.store.jobs() if job.active)
+            all_jobs = self.store.jobs()
+            active_jobs = sum(1 for job in all_jobs if job.active)
             if active_jobs >= self.max_jobs:
                 raise AdmissionError(
                     f"job queue full ({active_jobs}/{self.max_jobs} jobs active); "
                     "retry after current campaigns drain"
                 )
+            if self.max_jobs_per_client is not None:
+                mine = sum(
+                    1 for job in all_jobs if job.active and job.client == client
+                )
+                if mine >= self.max_jobs_per_client:
+                    raise AdmissionError(
+                        f"client {client or 'anonymous'!r} is at its per-client "
+                        f"bound ({mine}/{self.max_jobs_per_client} jobs active); "
+                        "retry after its campaigns drain"
+                    )
             job = JobRecord(
                 job_id=job_id,
                 sweep={
@@ -243,6 +299,7 @@ class CampaignService:
                 },
                 specs=tuple(spec.canonical() for spec in specs),
                 policy=dict(policy_fields) if policy_fields is not None else {},
+                client=client,
             )
             job = self.store.save(job)
             self.store.clear_events(job_id)
@@ -308,17 +365,29 @@ class CampaignService:
         return {"job": job.summary(), "records": records, "payloads": payloads}
 
     def health(self) -> dict:
+        """Daemon + cluster liveness: ``degraded`` is true when *either* the
+        local pool lost capacity past its respawn budget or any federated
+        node is dead/quarantined."""
         jobs = self.store.jobs()
-        pool = self.pool.health()
+        pool = (
+            self.pool.health()
+            if self.pool is not None
+            else {"backend": "local-pool", "workers": 0, "alive": 0, "degraded": False}
+        )
+        federation = self.federation.health()
+        degraded = bool(pool["degraded"] or federation["degraded"])
         plan = active_plan()
         return {
-            "status": "degraded" if pool["degraded"] else "ok",
+            "status": "degraded" if degraded else "ok",
             "version": self.version,
-            "workers": self.pool.workers,
-            "workers_alive": self.pool.alive(),
+            "workers": pool["workers"],
+            "workers_alive": pool["alive"],
             "pool": pool,
-            "degraded": pool["degraded"],
+            "federation": federation,
+            "nodes": federation["nodes"],
+            "degraded": degraded,
             "max_jobs": self.max_jobs,
+            "max_jobs_per_client": self.max_jobs_per_client,
             "policy": self.policy.to_dict(),
             "faults_active": plan.describe() if plan is not None else None,
             "jobs": {
@@ -337,7 +406,7 @@ class CampaignService:
                 self._dispatch()
                 self._drain()
                 self._enforce_deadlines()
-                self._reap_workers()
+                self._reap_backends()
             except Exception as exc:  # noqa: BLE001 — scheduler must survive
                 # A scheduler crash would silently freeze every job; log the
                 # tick's failure to the affected stores and keep ticking.
@@ -379,13 +448,22 @@ class CampaignService:
                 )
                 self._finish_if_complete(job.job_id, state)
 
+    def _submit_any(self, token, spec: RunSpec):
+        """Offer one run to each backend in order; the acceptor, or None."""
+        for backend in self.backends:
+            if backend.try_submit(token, spec):
+                return backend
+        return None
+
     def _dispatch(self) -> None:
-        """Round-robin pending points of every active job onto the shared queue.
+        """Round-robin pending points of every active job onto the backends.
 
         Delayed retries whose backoff has elapsed rejoin the pending queue
         first.  Every dispatch charges the point one attempt — which is what
         makes "no point executes more than ``max_attempts`` times" an
-        invariant by construction rather than a hope.
+        invariant by construction rather than a hope.  Dispatch remembers
+        which backend took each run, so deadline kills and lost-task
+        requeues always talk to the owner.
         """
         now = monotonic()
         with self._lock:
@@ -411,16 +489,28 @@ class CampaignService:
                         self._quarantine(state, index, spec, "attempt budget spent")
                         progressing = True
                         continue
-                    if not self.pool.try_submit((state.job_id, index), spec):
-                        return  # shared queue full — resume next tick
+                    backend = self._submit_any((state.job_id, index), spec)
+                    if backend is None:
+                        return  # every backend at capacity — resume next tick
                     state.pending.popleft()
                     state.attempts[index] = state.attempts.get(index, 0) + 1
-                    state.outstanding[index] = (spec, monotonic())
+                    state.outstanding[index] = (spec, monotonic(), backend)
                     progressing = True
 
     def _drain(self) -> None:
-        """Collect completions for up to one tick and persist progress."""
-        for token, record in self.pool.completions(timeout=self.tick_s):
+        """Collect completions for up to one tick and persist progress.
+
+        The tick is split across backends so a chatty pool cannot starve
+        remote uploads of scheduler attention (or vice versa).
+        """
+        share = self.tick_s / max(1, len(self.backends))
+        for backend in self.backends:
+            self._drain_backend(backend, share)
+            if self._stop.is_set():
+                return
+
+    def _drain_backend(self, backend, timeout: float) -> None:
+        for token, record in backend.completions(timeout=timeout):
             job_id, index = token
             with self._lock:
                 state = self._active.get(job_id)
@@ -451,6 +541,17 @@ class CampaignService:
 
     def _complete(self, job_id: str, state: _ActiveJob, index: int, record: RunRecord) -> None:
         """Caller holds the lock; account one successfully finished point."""
+        if record.ok and not record.cached and self.cache.get(record.spec) is None:
+            # The executor finished the run but could not durably cache it
+            # (its write attempts all failed — e.g. injected corrupt writes,
+            # ENOSPC, or a node whose local cache is elsewhere).  The record
+            # is in hand: back-stop the write here so ``GET /results`` serves
+            # every completed point.  Still best-effort — a cache that cannot
+            # be written costs reuse, not this completion.
+            try:
+                self.cache.put(record, verify=True)
+            except OSError:
+                pass
         state.completed.add(index)
         state.done += 1
         self._emit(job_id, record, state)
@@ -512,25 +613,29 @@ class CampaignService:
 
         Two sweeps over the dispatch bookkeeping:
 
-        * a run the pool reports *executing* (started announcement) for
-          longer than the job's ``deadline_s`` gets its worker SIGKILLed —
-          indistinguishable from a worker crash, so the same failure path
-          charges the attempt and retries or quarantines;
-        * a run *dispatched* but never announced within ``lost_task_grace_s``
-          (worker died in the narrow pull-to-announce window, or the task is
-          stranded in the queue with every worker dead) is requeued.
+        * a run its backend reports *executing* (worker started announcement
+          locally, granted lease remotely) for longer than the job's
+          ``deadline_s`` is killed through that backend — SIGKILL for a local
+          worker, lease revocation (fencing any later upload) for a remote
+          node — and the same failure path charges the attempt and retries
+          or quarantines;
+        * a run *dispatched* but never picked up within ``lost_task_grace_s``
+          (worker died in the narrow pull-to-announce window, task stranded
+          with every worker dead, or a claimable run no node ever leased) is
+          withdrawn from its backend and requeued.
         """
         now = monotonic()
-        in_flight = self.pool.in_flight()
+        flights = {id(backend): backend.in_flight() for backend in self.backends}
         with self._lock:
             for state in list(self._active.values()):
                 deadline = state.policy.deadline_s
-                for index, (spec, dispatched_at) in list(state.outstanding.items()):
+                for index, entry in list(state.outstanding.items()):
+                    spec, dispatched_at, backend = entry
                     token = (state.job_id, index)
-                    flight = in_flight.get(token)
+                    flight = flights.get(id(backend), {}).get(token)
                     if flight is not None:
                         if deadline is not None and now - flight[1] > deadline:
-                            self.pool.kill_for(token)
+                            backend.kill_for(token)
                             state.outstanding.pop(index, None)
                             self._handle_run_failure(
                                 state, index, spec,
@@ -538,6 +643,9 @@ class CampaignService:
                             )
                             self.store.update(state.job_id, **state.counters())
                     elif now - dispatched_at > self.lost_task_grace_s:
+                        # Withdraw first so the run cannot be claimed/executed
+                        # by the old submission after we hand out a new one.
+                        backend.withdraw(token)
                         state.outstanding.pop(index, None)
                         state.pending.appendleft((index, spec))
                         self.store.append_event(
@@ -546,15 +654,19 @@ class CampaignService:
                             f"started within {self.lost_task_grace_s:.0f}s --",
                         )
 
-    def _reap_workers(self) -> None:
-        """Replace dead workers and fail over exactly the runs they hosted.
+    def _reap_backends(self) -> None:
+        """Fail over exactly the runs lost to dead executors, on any backend.
 
-        The pool names the lost tokens from its started-announcement map, so
-        runs on *surviving* workers are untouched (no duplicate executions)
+        Locally that means dead worker processes (replaced up to the respawn
+        budget); remotely, expired leases and nodes declared dead after
+        missing heartbeats.  Each backend names the lost tokens precisely, so
+        runs on surviving executors are untouched (no duplicate executions)
         and each lost run flows through the ordinary failure path: charged
         attempt, backoff retry, quarantine at the budget.
         """
-        lost = self.pool.reap()
+        lost = []
+        for backend in self.backends:
+            lost.extend(backend.reap())
         if not lost:
             return
         with self._lock:
@@ -566,7 +678,7 @@ class CampaignService:
                 entry = state.outstanding.pop(index, None)
                 if entry is None:
                     continue
-                spec, _ = entry
+                spec = entry[0]
                 self._handle_run_failure(
                     state, index, spec, "worker died mid-run"
                 )

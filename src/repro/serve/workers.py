@@ -44,7 +44,7 @@ from time import monotonic
 from typing import Hashable, Iterator
 
 from repro.engine.cache import ResultCache
-from repro.engine.executor import StreamExecutor, execute_run
+from repro.engine.executor import RunBackend, execute_run
 from repro.engine.records import RunRecord
 from repro.engine.spec import RunSpec
 from repro.utils.validation import check_positive_int
@@ -129,7 +129,7 @@ def worker_main(
         last_beat = monotonic()
 
 
-class WorkerPool(StreamExecutor):
+class WorkerPool(RunBackend):
     """N spawned worker processes behind one shared task queue.
 
     The task queue is bounded (``2 * workers`` by default) so the scheduler
@@ -145,6 +145,7 @@ class WorkerPool(StreamExecutor):
     """
 
     kind = "worker-pool"
+    backend_name = "local-pool"
 
     def __init__(
         self,
@@ -268,6 +269,7 @@ class WorkerPool(StreamExecutor):
         """Liveness summary for ``/healthz`` and ``repro jobs``."""
         now = monotonic()
         return {
+            "backend": self.backend_name,
             "workers": self.workers,
             "alive": self.alive(),
             "respawns": self.respawns,

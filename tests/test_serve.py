@@ -16,15 +16,18 @@ import subprocess
 import sys
 import threading
 import time
+import urllib.request
 from pathlib import Path
 
 import pytest
 
 from repro.engine import Campaign, ResultCache, RunSpec, make_executor
 from repro.engine.cli import main as cli_main
+from repro.engine.spec import SweepSpec
 from repro.serve import (
     AdmissionError,
     CampaignService,
+    JobFailedError,
     JobRecord,
     JobStore,
     ServeClient,
@@ -490,3 +493,191 @@ class TestServeCli:
         assert "re-run the same sweep to resume" in stderr
         flushed = len(list(cache_glob.glob("*.json")))
         assert flushed >= 1  # completed points survived the interrupt
+
+
+# ------------------------------------------------- per-client admission quota
+class TestPerClientQuota:
+    def test_quota_is_charged_per_identity(self, tmp_path):
+        """Satellite: each X-Repro-Client identity gets its own active-job
+        bound under the global queue bound."""
+        service = CampaignService(
+            jobstore_dir=tmp_path / "jobs",
+            cache_dir=tmp_path / "cache",
+            workers=1,
+            max_jobs=8,
+            max_jobs_per_client=1,
+        )
+        # No scheduler running: jobs stay queued, so the bounds are exact.
+        service.submit(FAST_SWEEP, client="alice")
+        with pytest.raises(AdmissionError) as err:
+            service.submit(slow_sweep(seeds=2), client="alice")
+        assert "alice" in str(err.value) or "jobs active" in str(err.value)
+        # A different identity — and the anonymous bucket — are unaffected.
+        service.submit(slow_sweep(seeds=2), client="bob")
+        service.submit(slow_sweep(seeds=3))
+        with pytest.raises(AdmissionError):
+            service.submit(slow_sweep(seeds=4))  # anonymous bucket now full
+        # Identical resubmission still dedupes instead of erroring.
+        job, created = service.submit(FAST_SWEEP, client="alice")
+        assert created is False
+
+    def test_http_429_with_retry_after_and_client_on_job(self, tmp_path):
+        service = CampaignService(
+            jobstore_dir=tmp_path / "jobs",
+            cache_dir=tmp_path / "cache",
+            workers=1,
+            max_jobs=8,
+            max_jobs_per_client=1,
+        )
+        daemon = ServeDaemon(service, port=0)
+        daemon.start()
+        try:
+            alice = ServeClient(daemon.url, client="alice", retries=0)
+            slow = alice.submit(slow_sweep(seeds=30))
+            assert alice.job(slow["job_id"])["client"] == "alice"
+            with pytest.raises(ServeError) as err:
+                alice.submit(FAST_SWEEP)
+            assert err.value.status == 429
+            assert err.value.payload.get("retry_after") is not None
+            # Another identity still gets in and completes normally.
+            bob = ServeClient(daemon.url, client="bob", retries=0)
+            fast = bob.submit(FAST_SWEEP)
+            assert bob.wait(fast["job_id"], timeout=90)["state"] == "done"
+            assert service.health()["max_jobs_per_client"] == 1
+            alice.cancel(slow["job_id"])
+        finally:
+            daemon.shutdown()
+
+
+# ------------------------------------------------------- streaming follow
+class TestEventStreaming:
+    def test_chunked_follow_and_longpoll_fallback(self, tmp_path):
+        """Satellite: ``?follow=1`` streams chunked progress lines ending at
+        the terminal state; ``longpoll=1`` keeps the legacy unframed shape."""
+        service = CampaignService(
+            jobstore_dir=tmp_path / "jobs", cache_dir=tmp_path / "cache", workers=2
+        )
+        daemon = ServeDaemon(service, port=0)
+        daemon.start()
+        try:
+            client = ServeClient(daemon.url)
+            job_id = client.submit(FAST_SWEEP)["job_id"]
+            chunked = list(client.stream_events(job_id))  # terminates on done
+            assert any(line.startswith("-- submitted") for line in chunked)
+            assert any(line.startswith("-- done") for line in chunked)
+            assert not any(line.startswith(":") for line in chunked)
+            assert client.job(job_id)["state"] == "done"
+            # The long-poll fallback replays the same history and also ends.
+            longpoll = list(client.stream_events(job_id, longpoll=True))
+            assert longpoll == chunked
+        finally:
+            daemon.shutdown()
+
+    def test_idle_stream_emits_keepalive_comments(self, tmp_path):
+        """A coordinator with no capacity produces no events — the chunked
+        stream stays alive via ``: keep-alive`` comment chunks."""
+        service = CampaignService(
+            jobstore_dir=tmp_path / "jobs", cache_dir=tmp_path / "cache", workers=0
+        )
+        daemon = ServeDaemon(service, port=0)
+        daemon.start()
+        try:
+            client = ServeClient(daemon.url)
+            job_id = client.submit(FAST_SWEEP)["job_id"]  # queued forever
+            request = urllib.request.Request(
+                f"{daemon.url}/jobs/{job_id}/events?follow=1"
+            )
+            saw_comment = False
+            with urllib.request.urlopen(request, timeout=10) as response:
+                deadline = time.monotonic() + 8
+                for raw in response:
+                    if raw.decode(errors="replace").startswith(":"):
+                        saw_comment = True
+                        break
+                    assert time.monotonic() < deadline
+            assert saw_comment, "no keep-alive comment within the idle window"
+        finally:
+            daemon.shutdown()
+
+
+# ------------------------------------------------ typed job-failure surface
+class TestWaitFailureSurface:
+    def test_wait_raises_typed_error_on_terminal_failure(self, tmp_path):
+        """Satellite: wait() distinguishes 'the job ended badly' from
+        transport errors via JobFailedError carrying the job document."""
+        service = CampaignService(
+            jobstore_dir=tmp_path / "jobs", cache_dir=tmp_path / "cache", workers=1
+        )
+        daemon = ServeDaemon(service, port=0)
+        daemon.start()
+        try:
+            client = ServeClient(daemon.url)
+            job_id = client.submit(slow_sweep(seeds=30))["job_id"]
+            client.cancel(job_id)
+            with pytest.raises(JobFailedError) as err:
+                client.wait(job_id, timeout=30)
+            assert err.value.state == "cancelled"
+            assert err.value.job["job_id"] == job_id
+            assert err.value.quarantined == []
+            assert err.value.status == 0  # not a transport error
+            assert isinstance(err.value, ServeError)  # old handlers still catch
+            # Opt-out path returns the terminal document as before.
+            doc = client.wait(job_id, timeout=30, raise_on_failure=False)
+            assert doc["state"] == "cancelled"
+        finally:
+            daemon.shutdown()
+
+
+# --------------------------------------- restart recovery with remote leases
+class TestLeaseRecovery:
+    def test_restart_requeues_leased_runs_without_rerunning_cached(self, tmp_path):
+        """Satellite: a restart requeues runs whose lease-holder node is gone
+        (leases are deliberately in-memory) and serves already-completed
+        points straight from the cache — no re-execution."""
+        specs = SweepSpec(
+            experiment_id=FAST_SWEEP["experiment_id"], grid=FAST_SWEEP["grid"]
+        ).expand()
+        # Two of three points are already in the shared result cache.
+        warm = Campaign(specs[:2], cache=tmp_path / "cache").run()
+        assert warm.failures == 0 and warm.executed == 2
+
+        # First life: a coordinator-only service leases the remaining point
+        # to a node that will never come back.
+        first = CampaignService(
+            jobstore_dir=tmp_path / "jobs", cache_dir=tmp_path / "cache", workers=0
+        )
+        first.submit(FAST_SWEEP)
+        first.federation.register_node("vanishing", workers=2)
+        granted = []
+        deadline = time.monotonic() + 30
+        first.start()
+        try:
+            while time.monotonic() < deadline and not granted:
+                granted = first.federation.claim("vanishing", max_runs=2)
+                time.sleep(0.05)
+        finally:
+            first.shutdown()
+        assert granted, "the federation never leased the uncached point"
+
+        # Second life: same jobstore + cache, local workers, no such node.
+        second = CampaignService(
+            jobstore_dir=tmp_path / "jobs", cache_dir=tmp_path / "cache", workers=1
+        )
+        second.start()
+        try:
+            recovered = [job.job_id for job in second.store.jobs()]
+            job_id = recovered[0]
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                job = second.job(job_id)
+                if job is not None and job.finished:
+                    break
+                time.sleep(0.05)
+            assert job is not None and job.state == "done"
+            assert job.done == job.total == 3
+            # Cached points were *not* re-run: only the leased one executed.
+            assert job.cache_hits >= 2
+            assert job.executed <= 1
+            assert second.federation.nodes() == []  # the holder is simply gone
+        finally:
+            second.shutdown()
