@@ -1,0 +1,54 @@
+"""Benchmark: black-box attack search vs the fixed Cartesian attack grid.
+
+Times cache-less candidate evaluation through the stacked in-process path vs
+the serial campaign executor (the backends must produce byte-identical
+trajectories), then runs every search optimizer at exactly the fixed grid's
+scenario-evaluation budget and checks whether a searched Pareto front
+dominates the grid's stealth/damage points.  Emits ``BENCH_search.json``.
+
+Run directly (``python benchmarks/bench_attack_search.py [output.json]``) or
+via the CLI (``python -m repro bench --suite search``); a pytest-benchmark
+entry point is provided for the opt-in benchmark suite.  The acceptance
+claim is ``any_dominates_grid``: at equal budget, at least one optimizer's
+front beats the fixed grid for at least one attack kind.
+"""
+
+from __future__ import annotations
+
+import sys
+
+DEFAULT_OUTPUT = "BENCH_search.json"
+
+
+def test_attack_search_vs_grid(benchmark):
+    """Search-vs-grid quality at equal budget (opt-in bench suite)."""
+    from repro.analysis.search_bench import run_attack_search_bench
+
+    results = benchmark.pedantic(
+        lambda: run_attack_search_bench(output=DEFAULT_OUTPUT),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["batched_candidates_per_s"] = results["throughput"][
+        "batched_candidates_per_s"
+    ]
+    benchmark.extra_info["any_dominates_grid"] = results["any_dominates_grid"]
+    assert results["backends_equivalent"]
+    assert results["any_dominates_grid"]
+
+
+def main(argv: list[str]) -> int:
+    from repro.analysis.search_bench import (
+        format_search_bench_report,
+        run_attack_search_bench,
+    )
+
+    output = argv[0] if argv else DEFAULT_OUTPUT
+    results = run_attack_search_bench(output=output)
+    print(format_search_bench_report(results))
+    print(f"\nwrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -111,6 +111,11 @@ _FIG7_WORKLOADS: dict[tuple, tuple] = {}
 _FIG8_SPLITS: dict[tuple, object] = {}
 _FIG8_VARIANTS: dict[tuple, object] = {}
 
+#: Per-process cache of (engine, split, baseline) for ``fig7_candidate``
+#: workloads on *mitigation variants* (the unmitigated case shares
+#: ``_FIG7_WORKLOADS``).  Keyed by (model, variant, seed, quantize_weights).
+_CANDIDATE_WORKLOADS: dict[tuple, tuple] = {}
+
 
 def _prepared_fig7_workload(model: str, seed: int, quantize_weights: bool):
     """Return ``(engine, split, baseline_accuracy)`` for a trained workload."""
@@ -132,6 +137,233 @@ def _prepared_fig7_workload(model: str, seed: int, quantize_weights: bool):
         baseline = engine.clean_accuracy(split.test)
         _FIG7_WORKLOADS[key] = (engine, split, baseline)
     return _FIG7_WORKLOADS[key]
+
+
+def prepared_candidate_workload(
+    model: str,
+    variant: str,
+    seed: int,
+    quantize_weights: bool = True,
+    checkpoint_cache: bool = False,
+):
+    """Return ``(engine, split, baseline)`` for a ``fig7_candidate`` workload.
+
+    ``variant=""`` is the unmitigated paper workload (shared with
+    ``fig7_point``/``fig7_grid``); a named variant trains (or, with
+    ``checkpoint_cache``, loads) the mitigation variant exactly like
+    ``fig8_variant`` does, reusing its per-process split/variant caches.  The
+    baseline is always the engine's *clean mapped accuracy* on the test
+    split, so searched accuracy drops are measured against the same photonic
+    datapath the attacks corrupt.
+    """
+    if not variant:
+        return _prepared_fig7_workload(model, seed, quantize_weights)
+
+    from repro.accelerator.config import AcceleratorConfig
+    from repro.accelerator.inference import AttackedInferenceEngine
+    from repro.analysis.mitigation_analysis import (
+        _WORKLOAD_DEFAULTS,
+        MitigationAnalysisConfig,
+        MitigationStudy,
+    )
+    from repro.mitigation.robust_training import (
+        load_cached_variant,
+        store_variant_checkpoint,
+        train_variant,
+        variant_spec_from_name,
+    )
+    from repro.nn.training import TrainingConfig
+
+    key = (model, variant, seed, quantize_weights)
+    if key not in _CANDIDATE_WORKLOADS:
+        study = MitigationStudy(
+            MitigationAnalysisConfig(
+                model_names=(model,), seed=seed, checkpoint_cache=checkpoint_cache
+            )
+        )
+        split_key = (model, seed)
+        if split_key not in _FIG8_SPLITS:
+            _FIG8_SPLITS[split_key] = study.prepare_split(model)
+        split = _FIG8_SPLITS[split_key]
+
+        variant_key = (model, variant, seed)
+        if variant_key not in _FIG8_VARIANTS:
+            defaults = _WORKLOAD_DEFAULTS[model]
+            base_config = TrainingConfig(seed=seed, **dict(defaults["training"]))
+            spec = variant_spec_from_name(variant)
+            cache = study.checkpoint_cache()
+            trained = load_cached_variant(
+                cache,
+                study.checkpoint_key(model, spec),
+                model,
+                spec,
+                base_config,
+                model_kwargs=dict(defaults["model_kwargs"]),
+            )
+            if trained is None:
+                trained = train_variant(
+                    model,
+                    spec,
+                    split,
+                    base_config,
+                    model_kwargs=dict(defaults["model_kwargs"]),
+                )
+                store_variant_checkpoint(
+                    cache, study.checkpoint_key(model, spec), trained
+                )
+            _FIG8_VARIANTS[variant_key] = trained
+        trained = _FIG8_VARIANTS[variant_key]
+        engine = AttackedInferenceEngine(
+            trained.model,
+            config=AcceleratorConfig.scaled_config(),
+            quantize_weights=quantize_weights,
+        )
+        baseline = engine.clean_accuracy(split.test)
+        _CANDIDATE_WORKLOADS[key] = (engine, split, baseline)
+    return _CANDIDATE_WORKLOADS[key]
+
+
+def candidate_outcomes(
+    kind: str,
+    block: str,
+    fraction: float,
+    attack_params: Mapping | None,
+    placements: int,
+    seed: int,
+    accelerator,
+) -> list:
+    """Sample one candidate's placement outcomes with content-derived seeds.
+
+    The placement seed is a pure function of the candidate's identity
+    (kind, block, fraction, params, placement index) under the experiment
+    seed, so any executor — the local batched evaluator, a process-pool
+    worker or a federation node — samples byte-identical placements for the
+    same candidate.
+    """
+    from repro.attacks.base import AttackSpec
+    from repro.attacks.registry import create_attack
+    from repro.engine.spec import canonical_json
+    from repro.utils.rng import RngFactory
+
+    spec = AttackSpec(kind=kind, target_block=block, fraction=float(fraction))
+    attack = create_attack(spec, dict(attack_params or {}))
+    factory = RngFactory(seed=seed)
+    identity = canonical_json(
+        {
+            "kind": kind,
+            "block": block,
+            "fraction": float(fraction),
+            "params": dict(attack_params or {}),
+        }
+    )
+    return [
+        attack.sample(
+            accelerator, seed=factory.child_seed(f"candidate:{identity}#{placement}")
+        )
+        for placement in range(int(placements))
+    ]
+
+
+def candidate_payload(
+    model: str,
+    variant: str,
+    kind: str,
+    block: str,
+    fraction: float,
+    attack_params: Mapping | None,
+    placements: int,
+    baseline: float,
+    outcomes: list,
+    accuracies,
+) -> dict:
+    """Summary payload of one evaluated attack-search candidate."""
+    values = [float(a) for a in accuracies]
+    drops = [float(baseline) - a for a in values]
+    num_attacked_mrs = max(
+        (sum(int(n) for n in outcome.attacked_mrs.values()) for outcome in outcomes),
+        default=0,
+    )
+    drop_mean = sum(drops) / len(drops) if drops else 0.0
+    return {
+        "model": model,
+        "variant": variant,
+        "kind": kind,
+        "block": block,
+        "fraction": float(fraction),
+        "attack_params": dict(attack_params or {}),
+        "placements": int(placements),
+        "baseline": float(baseline),
+        "accuracies": values,
+        "drop_mean": drop_mean,
+        "drop_max": max(drops) if drops else 0.0,
+        "num_attacked_mrs": int(num_attacked_mrs),
+        "damage_per_mr": drop_mean / max(1, num_attacked_mrs),
+    }
+
+
+def candidate_payloads_batched(param_sets: list, seed: int) -> list[dict]:
+    """Evaluate many ``fig7_candidate`` parameter sets in stacked forwards.
+
+    Candidates are grouped by workload (model, variant, quantization); each
+    group's placement outcomes are concatenated into **one**
+    :meth:`AttackedInferenceEngine.accuracy_under_attacks` call.  Because the
+    batched path is bit-identical to the per-scenario serial path, the
+    returned payloads match :func:`_run_fig7_candidate` byte for byte — the
+    search driver exploits this to evaluate a whole optimizer generation per
+    stacked forward while still writing ordinary cacheable records.
+    """
+    from repro.accelerator.config import AcceleratorConfig
+
+    accelerator = AcceleratorConfig.scaled_config()
+    groups: dict[tuple, list[int]] = {}
+    for index, params in enumerate(param_sets):
+        key = (
+            params["model"],
+            params["variant"],
+            bool(params["quantize_weights"]),
+            bool(params["checkpoint_cache"]),
+        )
+        groups.setdefault(key, []).append(index)
+
+    payloads: list[dict | None] = [None] * len(param_sets)
+    for (model, variant, quantize_weights, checkpoint_cache), indices in groups.items():
+        engine, split, baseline = prepared_candidate_workload(
+            model, variant, seed, quantize_weights, checkpoint_cache
+        )
+        outcomes_per_candidate = []
+        stacked = []
+        for index in indices:
+            params = param_sets[index]
+            outcomes = candidate_outcomes(
+                params["kind"],
+                params["block"],
+                params["fraction"],
+                params["attack_params"],
+                params["placements"],
+                seed,
+                accelerator,
+            )
+            outcomes_per_candidate.append(outcomes)
+            stacked.extend(outcomes)
+        accuracies = engine.accuracy_under_attacks(split.test, stacked)
+        cursor = 0
+        for index, outcomes in zip(indices, outcomes_per_candidate):
+            params = param_sets[index]
+            chunk = accuracies[cursor : cursor + len(outcomes)]
+            cursor += len(outcomes)
+            payloads[index] = candidate_payload(
+                params["model"],
+                params["variant"],
+                params["kind"],
+                params["block"],
+                params["fraction"],
+                params["attack_params"],
+                params["placements"],
+                baseline,
+                outcomes,
+                chunk,
+            )
+    return [payload for payload in payloads if payload is not None]
 
 
 # --------------------------------------------------------------------------- runners
@@ -310,6 +542,112 @@ def _run_fig7_grid(
         "min": float(values.min()),
         "worst_case_drop": float(baseline - values.min()),
     }
+
+
+def _run_fig7_candidate(
+    model: str = "cnn_mnist",
+    variant: str = "",
+    kind: str = "hotspot",
+    block: str = "both",
+    fraction: float = 0.05,
+    attack_params: dict | None = None,
+    placements: int = 2,
+    quantize_weights: bool = True,
+    checkpoint_cache: bool = False,
+    seed: int = 0,
+) -> dict:
+    """One attack-search candidate: a (kind, fraction, params) configuration
+    averaged over random placements (engine/sweep/serve unit of work).
+
+    This is the unit the :mod:`repro.attacks.search` optimizers dispatch —
+    locally in stacked batches, through a process pool, or as sweep points on
+    a ``repro serve`` federation.  ``variant=""`` attacks the unmitigated
+    workload; a variant name (e.g. ``"l2+n3"``) attacks that trained
+    mitigation variant.  Placement seeds are content-derived from the
+    candidate identity, so every execution path samples identical placements.
+    """
+    from repro.accelerator.config import AcceleratorConfig
+
+    engine, split, baseline = prepared_candidate_workload(
+        model, variant, seed, quantize_weights, checkpoint_cache
+    )
+    outcomes = candidate_outcomes(
+        kind,
+        block,
+        fraction,
+        attack_params,
+        placements,
+        seed,
+        AcceleratorConfig.scaled_config(),
+    )
+    accuracies = engine.accuracy_under_attacks(split.test, outcomes)
+    return candidate_payload(
+        model,
+        variant,
+        kind,
+        block,
+        fraction,
+        attack_params,
+        placements,
+        baseline,
+        outcomes,
+        accuracies,
+    )
+
+
+def _run_fig7_adversarial(
+    model: str = "cnn_mnist",
+    variant: str = "",
+    kind: str = "hotspot",
+    block: str = "both",
+    optimizer: str = "random",
+    budget: int = 32,
+    generation_size: int = 8,
+    placements: int = 2,
+    fraction_min: float = 0.005,
+    fraction_max: float = 0.10,
+    sigma: float = 0.2,
+    mu: int = 0,
+    eta: int = 2,
+    quantize_weights: bool = True,
+    checkpoint_cache: bool = False,
+    candidate_cache: str = "",
+    seed: int = 0,
+) -> dict:
+    """One whole black-box attack search as a sweepable experiment.
+
+    Runs a seeded optimizer (``random``, ``evolutionary`` or ``halving``)
+    against one (model, mitigation-variant, attack-kind) workload for
+    ``budget`` scenario evaluations and returns the Pareto front over
+    stealth (``num_attacked_mrs``) vs. accuracy drop.  Sweeping this
+    experiment over kinds/variants/optimizers compares whole searches;
+    ``mu=0`` lets the evolutionary strategy pick its default parent count.
+    ``candidate_cache`` optionally names a result-cache directory for the
+    per-candidate records (the ``repro search`` CLI wires this up
+    automatically; keep it empty for hermetic payloads).
+    """
+    from repro.attacks.search import AttackSearch, AttackSearchConfig
+    from repro.engine.cache import ResultCache
+
+    config = AttackSearchConfig(
+        kind=kind,
+        model=model,
+        variant=variant,
+        block=block,
+        optimizer=optimizer,
+        budget=budget,
+        generation_size=generation_size,
+        placements=placements,
+        fraction_range=(fraction_min, fraction_max),
+        sigma=sigma,
+        mu=int(mu) or None,
+        eta=eta,
+        quantize_weights=quantize_weights,
+        checkpoint_cache=checkpoint_cache,
+        seed=seed,
+    )
+    cache = ResultCache(candidate_cache) if candidate_cache else None
+    return AttackSearch(config, cache=cache).run().to_payload()
 
 
 def _run_fig8(
@@ -643,6 +981,55 @@ EXPERIMENTS: dict[str, ExperimentDescriptor] = {
             seed=0,
         ),
         attack_kind_params=("kinds",),
+    ),
+    "fig7_candidate": ExperimentDescriptor(
+        experiment_id="fig7_candidate",
+        title="One attack-search candidate averaged over placements (sweepable)",
+        paper_reference="Fig. 7 methodology, searched",
+        modules=("repro.attacks.search", "repro.accelerator.inference", "repro.engine"),
+        bench_target="benchmarks/bench_attack_search.py",
+        runner=_run_fig7_candidate,
+        default_params=_params(
+            model="cnn_mnist",
+            variant="",
+            kind="hotspot",
+            block="both",
+            fraction=0.05,
+            attack_params=None,
+            placements=2,
+            quantize_weights=True,
+            checkpoint_cache=False,
+            seed=0,
+        ),
+        attack_kind_params=("kind",),
+    ),
+    "fig7_adversarial": ExperimentDescriptor(
+        experiment_id="fig7_adversarial",
+        title="Black-box adversarial attack search with a Pareto front (sweepable)",
+        paper_reference="beyond the paper's fixed grids (ROADMAP item 3)",
+        modules=("repro.attacks.search", "repro.analysis", "repro.engine"),
+        bench_target="benchmarks/bench_attack_search.py",
+        runner=_run_fig7_adversarial,
+        default_params=_params(
+            model="cnn_mnist",
+            variant="",
+            kind="hotspot",
+            block="both",
+            optimizer="random",
+            budget=32,
+            generation_size=8,
+            placements=2,
+            fraction_min=0.005,
+            fraction_max=0.10,
+            sigma=0.2,
+            mu=0,
+            eta=2,
+            quantize_weights=True,
+            checkpoint_cache=False,
+            candidate_cache="",
+            seed=0,
+        ),
+        attack_kind_params=("kind",),
     ),
     "fig8": ExperimentDescriptor(
         experiment_id="fig8",

@@ -20,6 +20,7 @@ __all__ = [
     "format_fig8_table",
     "format_fig9_table",
     "format_deployment_report",
+    "format_pareto_table",
 ]
 
 
@@ -144,6 +145,27 @@ def format_fig9_table(comparison_rows, model: str) -> str:
     return format_table(
         headers, rows, title=f"Fig. 9 ({model}): robust vs. original under CONV+FC attacks"
     )
+
+
+def format_pareto_table(front: Sequence[object], title: str = "Pareto front") -> str:
+    """Render a stealth-vs-damage Pareto front.
+
+    Accepts :class:`~repro.attacks.search.pareto.ParetoPoint` objects or the
+    dicts :func:`~repro.attacks.search.pareto.front_payload` emits.
+    """
+    headers = ["Attacked MRs", "Accuracy drop", "Candidate"]
+    rows = []
+    for point in front:
+        if isinstance(point, dict):
+            stealth = point.get("num_attacked_mrs", 0)
+            damage = point.get("accuracy_drop", 0.0)
+            label = point.get("label", "")
+        else:
+            stealth = point.stealth
+            damage = point.damage
+            label = point.label
+        rows.append([int(stealth), percent(float(damage)), label])
+    return format_table(headers, rows, title=title)
 
 
 def format_deployment_report(report: dict[str, object]) -> str:

@@ -1,0 +1,269 @@
+"""Attack-search benchmark: throughput and searched-front vs fixed-grid quality.
+
+Two sections:
+
+* ``throughput`` — the same cache-less search run through the stacked
+  in-process evaluator and the serial campaign executor.  Records best-of
+  candidates/sec for both paths, the batched speedup, and checks the two
+  trajectories are byte-identical (the backends must be interchangeable).
+* per-kind ``grid`` vs ``optimizers`` — the paper's fixed Cartesian grid
+  (``fig7_grid``-style fractions x placements with the kind's *default*
+  physical parameters) evaluated through the same candidate machinery, then
+  every optimizer run at **exactly the grid's scenario-evaluation budget**.
+  Each optimizer's Pareto front over stealth (attacked MRs) vs. damage
+  (accuracy drop) is compared against the grid's points with
+  :func:`~repro.attacks.search.pareto.front_dominates` — the acceptance
+  claim is that searching the bounded parameter space beats enumerating the
+  fixed grid at equal cost (``any_dominates_grid``).
+
+:func:`run_attack_search_bench` returns the result dictionary and optionally
+writes it as JSON (``BENCH_search.json``), which the CI workflow records as a
+non-gating artefact while failing loudly if the backend-equivalence check is
+violated.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+from time import perf_counter
+from typing import Sequence
+
+import numpy as np
+
+from repro.version import __version__
+
+__all__ = ["run_attack_search_bench", "format_search_bench_report"]
+
+#: The fixed-grid reference: fig7_grid's fraction axis with default params.
+GRID_FRACTIONS = (0.01, 0.05, 0.10)
+
+#: Placements per fixed-grid point (each costs one scenario evaluation).
+GRID_PLACEMENTS = 8
+
+
+def _search_config(kind: str, optimizer: str, budget: int, seed: int, **overrides):
+    from repro.attacks.search import AttackSearchConfig
+
+    defaults = dict(
+        kind=kind,
+        optimizer=optimizer,
+        budget=budget,
+        generation_size=8,
+        placements=1,
+        seed=seed,
+    )
+    defaults.update(overrides)
+    return AttackSearchConfig(**defaults)
+
+
+def _grid_reference(model: str, kind: str, seed: int) -> dict:
+    """Evaluate the fixed Cartesian grid through the candidate machinery.
+
+    One point per fraction, the kind's default physical parameters,
+    ``GRID_PLACEMENTS`` placements each — identical placement seeding and
+    stacked evaluation as search candidates, so the objectives are directly
+    comparable.
+    """
+    from repro.analysis.experiments import candidate_payloads_batched
+    from repro.attacks.search.pareto import ParetoPoint, front_payload, pareto_front
+
+    from repro.analysis.experiments import get_experiment
+
+    descriptor = get_experiment("fig7_candidate")
+    param_sets = []
+    for fraction in GRID_FRACTIONS:
+        params = descriptor.resolve_params(
+            {
+                "model": model,
+                "kind": kind,
+                "fraction": fraction,
+                "attack_params": {},
+                "placements": GRID_PLACEMENTS,
+            }
+        )
+        params.pop("seed", None)
+        param_sets.append(params)
+    start = perf_counter()
+    payloads = candidate_payloads_batched(param_sets, seed=seed)
+    duration = perf_counter() - start
+    points = [
+        ParetoPoint(
+            stealth=int(payload["num_attacked_mrs"]),
+            damage=float(payload["drop_mean"]),
+            label=f"{kind}[fraction={fraction}]x{GRID_PLACEMENTS}",
+        )
+        for fraction, payload in zip(GRID_FRACTIONS, payloads)
+    ]
+    return {
+        "fractions": list(GRID_FRACTIONS),
+        "placements": GRID_PLACEMENTS,
+        "budget": len(GRID_FRACTIONS) * GRID_PLACEMENTS,
+        "points": front_payload(points),
+        "front": pareto_front(points),
+        "duration_s": duration,
+    }
+
+
+def _run_search(model: str, kind: str, optimizer: str, budget: int, seed: int,
+                workers=None, **overrides):
+    from repro.attacks.search import AttackSearch
+
+    config = _search_config(
+        kind, optimizer, budget, seed, model=model, **overrides
+    )
+    return AttackSearch(config, cache=None, workers=workers).run()
+
+
+def _throughput_section(model: str, kind: str, seed: int, repeats: int = 3) -> dict:
+    """Cache-less batched vs serial-campaign evaluation of the same search.
+
+    Searches the FC block, where stacked evaluation shares the convolutional
+    trunk across a generation's scenarios — the structural win the batched
+    evaluator inherits from the scenario-batch subsystem.  Best-of-``repeats``
+    wall times; the two trajectories must be byte-identical.
+    """
+    from repro.analysis.experiments import prepared_candidate_workload
+
+    prepared_candidate_workload(model, "", seed)  # warm: time evaluation, not training
+    budget = 32
+    common = dict(generation_size=16, placements=1, block="fc")
+    batched = serial = None
+    batched_s = serial_s = float("inf")
+    for _ in range(max(repeats, 1)):
+        batched = _run_search(model, kind, "random", budget, seed, **common)
+        batched_s = min(batched_s, batched.duration_s)
+        serial = _run_search(
+            model, kind, "random", budget, seed, workers="serial", **common
+        )
+        serial_s = min(serial_s, serial.duration_s)
+    return {
+        "kind": kind,
+        "block": "fc",
+        "budget": budget,
+        "candidates": len(batched.candidates),
+        "batched_s": batched_s,
+        "serial_s": serial_s,
+        "batched_candidates_per_s": len(batched.candidates) / batched_s,
+        "serial_candidates_per_s": len(serial.candidates) / serial_s,
+        "speedup_batched_vs_serial": serial_s / batched_s,
+        "trajectories_identical": (
+            batched.trajectory_json() == serial.trajectory_json()
+        ),
+    }
+
+
+def run_attack_search_bench(
+    model: str = "cnn_mnist",
+    kinds: Sequence[str] = ("laser_power", "hotspot"),
+    optimizers: Sequence[str] = ("random", "evolutionary", "halving"),
+    seed: int = 0,
+    output: str | Path | None = None,
+) -> dict:
+    """Run both sections and optionally write the JSON record.
+
+    For every kind, each optimizer gets exactly the fixed grid's evaluation
+    budget (``len(GRID_FRACTIONS) * GRID_PLACEMENTS`` scenario evaluations);
+    ``any_dominates_grid`` records whether at least one searched front
+    Pareto-dominates the grid for at least one kind.
+    """
+    from repro.attacks.search.pareto import front_dominates
+
+    throughput = _throughput_section(model, kinds[0], seed)
+    kind_sections: dict[str, dict] = {}
+    for kind in kinds:
+        grid = _grid_reference(model, kind, seed)
+        optimizer_sections: dict[str, dict] = {}
+        for optimizer in optimizers:
+            start = perf_counter()
+            result = _run_search(model, kind, optimizer, grid["budget"], seed)
+            duration = perf_counter() - start
+            best = result.best
+            optimizer_sections[optimizer] = {
+                "evaluations": result.evaluations,
+                "generations": result.generations,
+                "num_candidates": len(result.candidates),
+                "front": [
+                    {
+                        "num_attacked_mrs": int(point.stealth),
+                        "accuracy_drop": float(point.damage),
+                        "label": point.label,
+                    }
+                    for point in result.front
+                ],
+                "best_drop_mean": best["drop_mean"] if best else 0.0,
+                "best_damage_per_mr": best["damage_per_mr"] if best else 0.0,
+                "dominates_grid": front_dominates(result.front, grid["front"]),
+                "duration_s": duration,
+            }
+        grid_section = dict(grid)
+        grid_section.pop("front")
+        kind_sections[kind] = {
+            "grid": grid_section,
+            "optimizers": optimizer_sections,
+            "any_dominates_grid": any(
+                section["dominates_grid"]
+                for section in optimizer_sections.values()
+            ),
+        }
+    results = {
+        "benchmark": "attack_search",
+        "version": __version__,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "model": model,
+        "seed": seed,
+        "throughput": throughput,
+        "kinds": kind_sections,
+        "any_dominates_grid": any(
+            section["any_dominates_grid"] for section in kind_sections.values()
+        ),
+        "backends_equivalent": throughput["trajectories_identical"],
+    }
+    if output is not None:
+        Path(output).write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    return results
+
+
+def format_search_bench_report(results: dict) -> str:
+    """Human-readable summary of a :func:`run_attack_search_bench` result."""
+    throughput = results["throughput"]
+    lines = [
+        f"attack-search benchmark (repro {results['version']}, "
+        f"python {results['python']}, numpy {results['numpy']})",
+        f"workload: {results['model']}, seed {results['seed']}",
+        "",
+        f"throughput ({throughput['kind']} on the "
+        f"{throughput['block'].upper()} block, budget {throughput['budget']}, "
+        f"no cache):",
+        f"  batched evaluator     {throughput['batched_candidates_per_s']:9.2f} "
+        f"candidates/s",
+        f"  serial campaign       {throughput['serial_candidates_per_s']:9.2f} "
+        f"candidates/s   "
+        f"({throughput['speedup_batched_vs_serial']:.1f}x)",
+        f"  trajectories identical: {throughput['trajectories_identical']}",
+    ]
+    for kind, section in results["kinds"].items():
+        grid = section["grid"]
+        grid_best = max(
+            (point["accuracy_drop"] for point in grid["points"]), default=0.0
+        )
+        lines += [
+            "",
+            f"{kind}: fixed grid {grid['fractions']} x {grid['placements']} "
+            f"placements = {grid['budget']} evaluations, "
+            f"best drop {grid_best:.3f}",
+        ]
+        for optimizer, entry in section["optimizers"].items():
+            marker = "DOMINATES grid" if entry["dominates_grid"] else "no"
+            lines.append(
+                f"  {optimizer:<13} front {len(entry['front'])}, best drop "
+                f"{entry['best_drop_mean']:.3f}, dominates: {marker}"
+            )
+    lines += [
+        "",
+        f"any searched front dominates its fixed grid: "
+        f"{results['any_dominates_grid']}",
+    ]
+    return "\n".join(lines)

@@ -28,6 +28,11 @@ primitives that one shared injection kernel merges
 MRs, CONV/FC/both blocks, 10 random placements each — over any registered
 kinds) and :mod:`repro.attacks.injection` converts attack outcomes into
 corrupted model weights through the accelerator mapping.
+
+Beyond the paper's fixed grids, :mod:`repro.attacks.search` drives any
+registered kind's bounded parameter space with deterministic black-box
+optimizers, reducing evaluated candidates to Pareto fronts over stealth
+(``num_attacked_mrs``) vs. accuracy drop (``python -m repro search``).
 """
 
 import importlib
@@ -59,6 +64,7 @@ from repro.attacks.laser_power import LaserPowerAttack, LaserPowerAttackConfig
 from repro.attacks.triggered import TriggeredAttack, TriggeredAttackConfig
 from repro.attacks.scenario import AttackScenario, generate_scenarios, sample_outcome
 from repro.attacks.injection import attack_context, corrupted_state_batch, corrupted_state_dict
+from repro.attacks import search
 
 def load_plugin_modules(env: str = "REPRO_ATTACK_PLUGINS") -> tuple[str, ...]:
     """Import the out-of-tree attack-plugin modules named in ``$env``.
@@ -121,4 +127,5 @@ __all__ = [
     "attack_context",
     "corrupted_state_dict",
     "corrupted_state_batch",
+    "search",
 ]

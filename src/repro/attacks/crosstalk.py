@@ -17,7 +17,7 @@ rival direct heater overdrive in accuracy damage.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -52,11 +52,21 @@ class CrosstalkAttackConfig:
         Thermal solver grid resolution.
     """
 
-    leakage_power_mw: float = 400.0
-    baseline_power_mw: float = 1.0
-    min_rise_k: float = 1.0
-    grid_rows: int = 48
-    grid_cols: int = 48
+    leakage_power_mw: float = field(
+        default=400.0, metadata={"bounds": (1.0, 5000.0), "log": True}
+    )
+    baseline_power_mw: float = field(
+        default=1.0, metadata={"bounds": (0.0, 100.0), "search": False}
+    )
+    min_rise_k: float = field(
+        default=1.0, metadata={"bounds": (0.01, 100.0), "search": False}
+    )
+    grid_rows: int = field(
+        default=48, metadata={"bounds": (4, 512), "search": False}
+    )
+    grid_cols: int = field(
+        default=48, metadata={"bounds": (4, 512), "search": False}
+    )
 
     def __post_init__(self) -> None:
         check_positive(self.leakage_power_mw, "leakage_power_mw")

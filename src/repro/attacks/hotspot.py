@@ -11,7 +11,7 @@ corrupted parameter clusters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -47,12 +47,24 @@ class HotspotAttackConfig:
         Thermal solver grid resolution.
     """
 
-    heater_power_mw: float = 300.0
-    baseline_power_mw: float = 1.0
-    min_rise_k: float = 1.0
-    attacked_bank_min_rise_k: float = 16.0
-    grid_rows: int = 48
-    grid_cols: int = 48
+    heater_power_mw: float = field(
+        default=300.0, metadata={"bounds": (1.0, 2000.0), "log": True}
+    )
+    baseline_power_mw: float = field(
+        default=1.0, metadata={"bounds": (0.0, 100.0), "search": False}
+    )
+    min_rise_k: float = field(
+        default=1.0, metadata={"bounds": (0.01, 100.0), "search": False}
+    )
+    attacked_bank_min_rise_k: float = field(
+        default=16.0, metadata={"bounds": (0.1, 200.0), "search": False}
+    )
+    grid_rows: int = field(
+        default=48, metadata={"bounds": (4, 512), "search": False}
+    )
+    grid_cols: int = field(
+        default=48, metadata={"bounds": (4, 512), "search": False}
+    )
 
     def __post_init__(self) -> None:
         check_positive(self.heater_power_mw, "heater_power_mw")

@@ -46,7 +46,17 @@ __all__ = [
     "is_registered",
     "create_attack",
     "attack_kind_info",
+    "PARAM_METADATA_KEYS",
 ]
+
+#: ``dataclasses.field(metadata=...)`` keys understood by the registry.
+#: ``bounds``: inclusive ``(lo, hi)`` range for a numeric field, enforced by
+#: :meth:`AttackKind.coerce_params`.  ``choices``: allowed values for a
+#: categorical field.  ``search``: whether ``repro.attacks.search`` may use
+#: the field as an optimization dimension (defaults to True whenever bounds
+#: or choices are declared).  ``log``: sample the bounded range
+#: logarithmically when searched.
+PARAM_METADATA_KEYS = ("bounds", "choices", "search", "log")
 
 #: Name → attack-kind class.  Populated by :func:`register_attack`; the
 #: built-in kinds register when :mod:`repro.attacks` is imported.
@@ -111,7 +121,7 @@ class AttackKind(ABC):
         if params is None:
             return cls.params_class()
         if isinstance(params, cls.params_class):
-            return params
+            return cls.validate_params(params)
         if isinstance(params, Mapping):
             known = {f.name for f in dataclasses.fields(cls.params_class)}
             unknown = sorted(set(params) - known)
@@ -120,12 +130,37 @@ class AttackKind(ABC):
                     f"unknown parameter(s) {unknown} for attack kind {cls.name!r}; "
                     f"accepted: {sorted(known)}"
                 )
-            return cls.params_class(**params)
+            return cls.validate_params(cls.params_class(**params))
         raise ValidationError(
             f"params for attack kind {cls.name!r} must be a "
             f"{cls.params_class.__name__}, a mapping or None, "
             f"got {type(params).__name__}"
         )
+
+    @classmethod
+    def validate_params(cls, params):
+        """Enforce the declared ``bounds``/``choices`` field metadata.
+
+        Dataclass ``__post_init__`` checks catch structurally invalid values
+        (negative powers, malformed triggers); this layer additionally
+        rejects values outside each field's declared physical range, naming
+        the offending field.  Returns ``params`` unchanged when valid.
+        """
+        for name, info in cls.param_info().items():
+            value = getattr(params, name, None)
+            bounds = info.get("bounds")
+            if bounds is not None and isinstance(value, (int, float, np.number)) and not isinstance(value, bool):
+                lo, hi = bounds
+                if not (lo <= float(value) <= hi):
+                    raise ValidationError(
+                        f"{cls.name}.{name} must lie in [{lo}, {hi}], got {value!r}"
+                    )
+            choices = info.get("choices")
+            if choices is not None and value not in choices:
+                raise ValidationError(
+                    f"{cls.name}.{name} must be one of {list(choices)}, got {value!r}"
+                )
+        return params
 
     @classmethod
     def contextualize_params(cls, params: object, params_by_kind: Mapping) -> object:
@@ -151,6 +186,37 @@ class AttackKind(ABC):
             elif field.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
                 defaults[field.name] = field.default_factory()  # type: ignore[misc]
         return defaults
+
+    @classmethod
+    def param_info(cls) -> dict[str, dict[str, object]]:
+        """Per-field metadata: default, bounds, choices, integer/searchable flags.
+
+        The ``bounds``/``choices`` entries come from each field's dataclass
+        ``metadata`` (see :data:`PARAM_METADATA_KEYS`); ``searchable`` marks
+        the fields :mod:`repro.attacks.search` derives optimization
+        dimensions from.
+        """
+        if cls.params_class is None:
+            return {}
+        defaults = cls.param_defaults()
+        info: dict[str, dict[str, object]] = {}
+        for field in dataclasses.fields(cls.params_class):
+            meta = field.metadata or {}
+            entry: dict[str, object] = {"default": defaults.get(field.name)}
+            if "bounds" in meta:
+                lo, hi = meta["bounds"]
+                entry["bounds"] = (lo, hi)
+            if "choices" in meta:
+                entry["choices"] = tuple(meta["choices"])
+            default = defaults.get(field.name)
+            entry["integer"] = isinstance(default, int) and not isinstance(default, bool)
+            entry["searchable"] = bool(
+                meta.get("search", "bounds" in meta or "choices" in meta)
+            )
+            if meta.get("log"):
+                entry["log"] = True
+            info[field.name] = entry
+        return info
 
 
 # ------------------------------------------------------------------ registry
@@ -207,12 +273,13 @@ def create_attack(spec: "AttackSpec", params: object = None) -> AttackKind:
 
 
 def attack_kind_info() -> list[dict[str, object]]:
-    """Registry summary rows (name, summary, parameter defaults) for the CLI."""
+    """Registry summary rows (name, summary, parameter metadata) for the CLI."""
     return [
         {
             "kind": name,
             "summary": cls.summary,
             "params": cls.param_defaults(),
+            "param_info": cls.param_info(),
         }
         for name, cls in _REGISTRY.items()
     ]

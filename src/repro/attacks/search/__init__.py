@@ -1,0 +1,55 @@
+"""Black-box adversarial attack search (ROADMAP item 3).
+
+Deterministic optimizers (:mod:`~repro.attacks.search.optimizers`) explore
+the bounded parameter space every registered attack kind declares
+(:mod:`~repro.attacks.search.space`), evaluating candidates in stacked
+forwards through the engine's content-addressed cache
+(:mod:`~repro.attacks.search.driver`) and reducing them to Pareto fronts
+over stealth vs. accuracy drop (:mod:`~repro.attacks.search.pareto`).
+"""
+
+from repro.attacks.search.driver import (
+    AttackSearch,
+    AttackSearchConfig,
+    AttackSearchResult,
+    SearchError,
+)
+from repro.attacks.search.optimizers import (
+    OPTIMIZERS,
+    Candidate,
+    MuPlusLambdaES,
+    RandomSearch,
+    SearchOptimizer,
+    SuccessiveHalving,
+    make_optimizer,
+)
+from repro.attacks.search.pareto import (
+    ParetoPoint,
+    dominates,
+    front_dominates,
+    front_payload,
+    pareto_front,
+)
+from repro.attacks.search.space import Dimension, SearchSpace, space_for_kind
+
+__all__ = [
+    "AttackSearch",
+    "AttackSearchConfig",
+    "AttackSearchResult",
+    "SearchError",
+    "SearchOptimizer",
+    "RandomSearch",
+    "MuPlusLambdaES",
+    "SuccessiveHalving",
+    "Candidate",
+    "OPTIMIZERS",
+    "make_optimizer",
+    "ParetoPoint",
+    "pareto_front",
+    "front_dominates",
+    "front_payload",
+    "dominates",
+    "Dimension",
+    "SearchSpace",
+    "space_for_kind",
+]

@@ -1,0 +1,247 @@
+"""Deterministic black-box optimizers over attack search spaces.
+
+All optimizers speak the same ask/tell protocol in the normalized unit cube
+of a :class:`~repro.attacks.search.space.SearchSpace`:
+
+- :meth:`SearchOptimizer.ask` proposes a generation of :class:`Candidate`
+  objects (decoded values plus the placement count each must be averaged
+  over);
+- :meth:`SearchOptimizer.tell` feeds back one scalar fitness per candidate
+  (the driver uses accuracy drop per attacked MR).
+
+Everything is pure NumPy and seeded through :class:`repro.utils.rng
+.RngFactory`, so a fixed seed yields a byte-identical proposal trajectory
+regardless of how the evaluations were executed (serial, process pool, or a
+``repro serve`` federation).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.search.space import SearchSpace
+from repro.utils.rng import RngFactory, default_rng
+from repro.utils.validation import ValidationError, check_positive, check_positive_int
+
+__all__ = [
+    "Candidate",
+    "SearchOptimizer",
+    "RandomSearch",
+    "MuPlusLambdaES",
+    "SuccessiveHalving",
+    "make_optimizer",
+    "OPTIMIZERS",
+]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One proposed attack configuration.
+
+    ``vector`` is the optimizer's internal unit-cube coordinate (kept so
+    evolutionary selection can mutate survivors); ``values`` is its decoded
+    ``{"fraction", "params"}`` form; ``placements`` is the number of random
+    trojan placements the candidate's fitness is averaged over.
+    """
+
+    vector: tuple
+    values: dict
+    placements: int
+
+    @property
+    def cost(self) -> int:
+        """Scenario evaluations this candidate consumes from the budget."""
+        return self.placements
+
+
+class SearchOptimizer(ABC):
+    """Base ask/tell optimizer; subclasses set :attr:`name`."""
+
+    name = ""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        seed: int = 0,
+        generation_size: int = 8,
+        placements: int = 2,
+    ):
+        check_positive_int(generation_size, "generation_size")
+        check_positive_int(placements, "placements")
+        self.space = space
+        self.generation_size = int(generation_size)
+        self.placements = int(placements)
+        self._rng = default_rng(
+            RngFactory(int(seed)).child_seed(f"attacks.search.{self.name}")
+        )
+
+    # ------------------------------------------------------------- protocol
+    @abstractmethod
+    def ask(self) -> list:
+        """Propose the next generation of candidates."""
+
+    def tell(self, candidates: list, fitnesses: list) -> None:
+        """Feed back one fitness per asked candidate (same order)."""
+
+    @property
+    def done(self) -> bool:
+        """True once the optimizer has no further generations to propose."""
+        return False
+
+    # -------------------------------------------------------------- helpers
+    def _candidate(self, vector: np.ndarray, placements: int | None = None) -> Candidate:
+        vector = np.clip(np.asarray(vector, dtype=np.float64), 0.0, 1.0)
+        return Candidate(
+            vector=tuple(float(v) for v in vector),
+            values=self.space.decode(vector),
+            placements=int(placements or self.placements),
+        )
+
+    def _random_vectors(self, count: int) -> np.ndarray:
+        return self._rng.random((count, self.space.size))
+
+
+class RandomSearch(SearchOptimizer):
+    """Uniform sampling of the unit cube — the paper-grid-agnostic baseline."""
+
+    name = "random"
+
+    def ask(self) -> list:
+        return [self._candidate(v) for v in self._random_vectors(self.generation_size)]
+
+
+class MuPlusLambdaES(SearchOptimizer):
+    """(mu+lambda) evolutionary strategy with Gaussian mutation.
+
+    Each generation proposes ``lambda = generation_size`` children mutated
+    from the ``mu`` best individuals seen so far (parents included in the
+    selection pool, hence *plus*).  Mutation adds ``sigma``-scaled Gaussian
+    noise in the unit cube; categorical dimensions are resampled uniformly
+    with probability ``categorical_rate``.
+    """
+
+    name = "evolutionary"
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        seed: int = 0,
+        generation_size: int = 8,
+        placements: int = 2,
+        mu: int | None = None,
+        sigma: float = 0.2,
+        categorical_rate: float = 0.2,
+    ):
+        super().__init__(space, seed=seed, generation_size=generation_size, placements=placements)
+        self.mu = int(mu) if mu is not None else max(1, self.generation_size // 4)
+        check_positive_int(self.mu, "mu")
+        check_positive(sigma, "sigma")
+        self.sigma = float(sigma)
+        self.categorical_rate = float(categorical_rate)
+        self._categorical = np.array(
+            [dim.kind == "categorical" for dim in space.dims], dtype=bool
+        )
+        self._parents: list = []  # (vector ndarray, fitness) best-first
+
+    def ask(self) -> list:
+        if not self._parents:
+            return [self._candidate(v) for v in self._random_vectors(self.generation_size)]
+        children = []
+        for _ in range(self.generation_size):
+            parent = self._parents[int(self._rng.integers(len(self._parents)))][0]
+            child = parent + self.sigma * self._rng.standard_normal(self.space.size)
+            if self._categorical.any():
+                resample = self._rng.random(self.space.size) < self.categorical_rate
+                fresh = self._rng.random(self.space.size)
+                child = np.where(self._categorical & resample, fresh, child)
+            children.append(self._candidate(child))
+        return children
+
+    def tell(self, candidates: list, fitnesses: list) -> None:
+        pool = list(self._parents) + [
+            (np.asarray(c.vector, dtype=np.float64), float(f))
+            for c, f in zip(candidates, fitnesses)
+        ]
+        order = np.argsort(-np.array([f for _, f in pool]), kind="stable")
+        self._parents = [pool[int(i)] for i in order[: self.mu]]
+
+
+class SuccessiveHalving(SearchOptimizer):
+    """Successive halving over placement fidelity.
+
+    Rung 0 evaluates ``generation_size`` random candidates at the base
+    placement count; each following rung keeps the top ``1/eta`` fraction and
+    re-evaluates the survivors at ``eta``-times more placements (a different
+    cache key, so higher-fidelity re-evaluations are genuine new work).  The
+    schedule ends when a single survivor has been evaluated at the top rung.
+    """
+
+    name = "halving"
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        seed: int = 0,
+        generation_size: int = 8,
+        placements: int = 2,
+        eta: int = 2,
+    ):
+        super().__init__(space, seed=seed, generation_size=generation_size, placements=placements)
+        if eta < 2:
+            raise ValidationError(f"eta must be >= 2, got {eta}")
+        self.eta = int(eta)
+        self._rung = 0
+        self._survivors: list | None = None  # vectors carried to the next rung
+        self._done = False
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def ask(self) -> list:
+        if self._done:
+            return []
+        placements = self.placements * self.eta**self._rung
+        if self._rung == 0:
+            vectors = list(self._random_vectors(self.generation_size))
+        else:
+            vectors = list(self._survivors or [])
+        return [self._candidate(v, placements=placements) for v in vectors]
+
+    def tell(self, candidates: list, fitnesses: list) -> None:
+        if not candidates:
+            self._done = True
+            return
+        order = np.argsort(-np.asarray(fitnesses, dtype=np.float64), kind="stable")
+        keep = max(1, int(math.ceil(len(candidates) / self.eta)))
+        self._survivors = [
+            np.asarray(candidates[int(i)].vector, dtype=np.float64)
+            for i in order[:keep]
+        ]
+        if len(candidates) <= 1:
+            self._done = True
+        self._rung += 1
+
+
+OPTIMIZERS = {
+    cls.name: cls for cls in (RandomSearch, MuPlusLambdaES, SuccessiveHalving)
+}
+
+
+def make_optimizer(name: str, space: SearchSpace, **kwargs) -> SearchOptimizer:
+    """Instantiate a registered optimizer by name."""
+    if name not in OPTIMIZERS:
+        raise ValidationError(
+            f"unknown optimizer {name!r}; available: {sorted(OPTIMIZERS)}"
+        )
+    cls = OPTIMIZERS[name]
+    if cls is not MuPlusLambdaES:
+        kwargs.pop("mu", None)
+        kwargs.pop("sigma", None)
+    if cls is not SuccessiveHalving:
+        kwargs.pop("eta", None)
+    return cls(space, **kwargs)

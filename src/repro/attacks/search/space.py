@@ -1,0 +1,170 @@
+"""Search-space adapter: attack-kind params dataclasses → bounded dimensions.
+
+Every registered attack kind declares per-field ``bounds``/``choices``
+metadata on its params dataclass (see
+:data:`repro.attacks.registry.PARAM_METADATA_KEYS`).  This module turns that
+metadata into a :class:`SearchSpace` — an ordered tuple of bounded
+continuous/integer/categorical :class:`Dimension` objects plus the
+spec-level ``fraction`` knob — that the optimizers in
+:mod:`repro.attacks.search.optimizers` explore in the normalized unit cube.
+
+Decoding is deterministic and *quantized*: continuous values are rounded to
+six significant digits so a decoded candidate round-trips bit-identically
+through canonical JSON, which is what makes the engine's content-addressed
+result cache line up across interrupted and resumed searches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.registry import get_attack_kind
+from repro.utils.validation import ValidationError
+
+__all__ = ["Dimension", "SearchSpace", "space_for_kind", "quantize"]
+
+#: Default spec-level attacked-fraction range explored by every search.
+DEFAULT_FRACTION_RANGE = (0.005, 0.10)
+
+
+def quantize(value: float) -> float:
+    """Round to 6 significant digits for stable JSON cache keys."""
+    if value == 0.0 or not math.isfinite(value):
+        return float(value)
+    return float(f"{value:.6g}")
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One bounded search dimension in the normalized unit interval.
+
+    Attributes
+    ----------
+    name:
+        ``"fraction"`` for the spec-level knob, otherwise the params-dataclass
+        field name.
+    kind:
+        ``"continuous"``, ``"integer"`` or ``"categorical"``.
+    lower, upper:
+        Inclusive bounds (continuous/integer dimensions).
+    choices:
+        Allowed values (categorical dimensions).
+    log:
+        Sample the bounded range logarithmically (requires ``lower > 0``).
+    """
+
+    name: str
+    kind: str = "continuous"
+    lower: float = 0.0
+    upper: float = 1.0
+    choices: tuple = ()
+    log: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("continuous", "integer", "categorical"):
+            raise ValidationError(f"unknown dimension kind {self.kind!r}")
+        if self.kind == "categorical":
+            if not self.choices:
+                raise ValidationError(f"dimension {self.name!r} has no choices")
+        elif not (self.lower < self.upper):
+            raise ValidationError(
+                f"dimension {self.name!r} needs lower < upper, "
+                f"got [{self.lower}, {self.upper}]"
+            )
+        if self.log and self.lower <= 0:
+            raise ValidationError(
+                f"log dimension {self.name!r} requires lower > 0, got {self.lower}"
+            )
+
+    def decode(self, u: float) -> object:
+        """Map a unit-cube coordinate to a concrete parameter value."""
+        u = min(1.0, max(0.0, float(u)))
+        if self.kind == "categorical":
+            index = min(int(u * len(self.choices)), len(self.choices) - 1)
+            return self.choices[index]
+        if self.log:
+            value = math.exp(
+                math.log(self.lower)
+                + u * (math.log(self.upper) - math.log(self.lower))
+            )
+        else:
+            value = self.lower + u * (self.upper - self.lower)
+        if self.kind == "integer":
+            return int(round(min(self.upper, max(self.lower, value))))
+        return quantize(min(self.upper, max(self.lower, value)))
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Ordered search dimensions for one attack kind."""
+
+    kind: str
+    dims: tuple
+
+    @property
+    def size(self) -> int:
+        return len(self.dims)
+
+    def decode(self, u: np.ndarray) -> dict:
+        """Decode a unit-cube vector into ``{"fraction": ..., "params": {...}}``.
+
+        The ``params`` dict holds only searched fields (everything else keeps
+        the kind's defaults), so candidate identities stay minimal and stable
+        in the cache.
+        """
+        u = np.asarray(u, dtype=np.float64)
+        if u.shape != (self.size,):
+            raise ValidationError(
+                f"expected a vector of {self.size} coordinates, got shape {u.shape}"
+            )
+        fraction = None
+        params: dict[str, object] = {}
+        for dim, coord in zip(self.dims, u):
+            value = dim.decode(float(coord))
+            if dim.name == "fraction":
+                fraction = value
+            else:
+                params[dim.name] = value
+        return {"fraction": fraction, "params": params}
+
+
+def space_for_kind(
+    kind: str,
+    fraction_range: tuple = DEFAULT_FRACTION_RANGE,
+) -> SearchSpace:
+    """Derive the search space of a registered attack kind.
+
+    The space always leads with the spec-level ``fraction`` dimension; the
+    remaining dimensions come from the kind's searchable params fields (the
+    ones whose dataclass metadata declares ``bounds`` or ``choices`` without
+    ``search: False``).
+    """
+    lo, hi = (float(fraction_range[0]), float(fraction_range[1]))
+    if not (0.0 < lo < hi <= 1.0):
+        raise ValidationError(
+            f"fraction_range must satisfy 0 < lo < hi <= 1, got ({lo}, {hi})"
+        )
+    dims = [Dimension(name="fraction", kind="continuous", lower=lo, upper=hi)]
+    info = get_attack_kind(kind).param_info()
+    for name, entry in info.items():
+        if not entry.get("searchable"):
+            continue
+        if "choices" in entry:
+            dims.append(
+                Dimension(name=name, kind="categorical", choices=tuple(entry["choices"]))
+            )
+        elif "bounds" in entry:
+            blo, bhi = entry["bounds"]
+            dims.append(
+                Dimension(
+                    name=name,
+                    kind="integer" if entry.get("integer") else "continuous",
+                    lower=float(blo),
+                    upper=float(bhi),
+                    log=bool(entry.get("log")),
+                )
+            )
+    return SearchSpace(kind=kind, dims=tuple(dims))

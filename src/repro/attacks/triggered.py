@@ -70,9 +70,19 @@ class TriggeredAttackConfig:
     """
 
     base: str = "actuation"
-    trigger: str = "inference_count"
-    trigger_count: int = 1000
-    observed_inferences: int = 1000
+    trigger: str = field(
+        default="inference_count",
+        metadata={
+            "choices": ("always_on", "inference_count", "external"),
+            "search": False,
+        },
+    )
+    trigger_count: int = field(
+        default=1000, metadata={"bounds": (1, 10**9), "search": False}
+    )
+    observed_inferences: int = field(
+        default=1000, metadata={"bounds": (0, 10**9), "search": False}
+    )
     armed: bool = False
     base_params: Mapping | object | None = field(default=None, hash=False)
 

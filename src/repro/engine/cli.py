@@ -12,6 +12,14 @@ Subcommands
 ``sweep <experiment_id>``
     Expand a parameter sweep (``--grid``/``--zip``/``--set``/``--seeds``)
     and run it through the serial or process-pool executor with caching.
+``search <kind>``
+    Black-box adversarial attack search: a deterministic optimizer
+    (``random``, ``evolutionary`` or ``halving``) drives the kind's bounded
+    parameter space to maximize accuracy drop per attacked MR, reducing the
+    evaluated candidates to a Pareto front over stealth vs. damage.  Every
+    candidate is a cached ``fig7_candidate`` run, so interrupted searches
+    resume from the result cache; ``--serve`` dispatches each generation to
+    a running daemon as a zipped sweep.
 ``train``
     Pre-warm the trained-model checkpoint cache: train mitigation variant
     grids (stacked by default) and store every trained model
@@ -19,15 +27,18 @@ Subcommands
     :class:`MitigationStudy` instances load instead of re-train.
 ``report``
     Summarize the records accumulated in the result cache, including
-    min/mean/max per-run wall time per experiment, plus the trained-model
-    checkpoint store (entries, size, hits).
+    min/mean/max per-run wall time per experiment, the trained-model
+    checkpoint store (entries, size, hits), and Pareto fronts rebuilt from
+    cached ``fig7_candidate``/``fig7_adversarial`` records.
 ``bench``
     Run the benchmark suites: ``--suite signal`` (seed object path vs
     vectorized array-core, ``BENCH_signal_core.json``), ``--suite scenario``
     (per-scenario vs scenario-batched attacked inference,
     ``BENCH_scenario_batch.json``), ``--suite training`` (stacked vs serial
     variant-grid training + checkpoint-cache pipeline,
-    ``BENCH_training.json``) or ``--suite all``.
+    ``BENCH_training.json``), ``--suite search`` (batched vs serial
+    candidate throughput + searched front vs the fixed Cartesian grid at
+    equal budget, ``BENCH_search.json``) or ``--suite all``.
 ``serve``
     Run the persistent campaign service: a durable on-disk job queue, N
     worker processes shared by every submitted sweep (work-stealing across
@@ -265,10 +276,12 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run the performance benchmark suites"
     )
     bench.add_argument(
-        "--suite", choices=("signal", "scenario", "training", "all"), default="signal",
+        "--suite", choices=("signal", "scenario", "training", "search", "all"),
+        default="signal",
         help="signal: array-core vs seed object path; scenario: batched vs "
              "per-scenario attacked inference; training: stacked vs serial "
-             "variant-grid training + checkpoint cache (default: signal)",
+             "variant-grid training + checkpoint cache; search: attack-search "
+             "throughput + grid-vs-search fronts (default: signal)",
     )
     bench.add_argument(
         "--matvec-size", type=int, default=64, help="[signal] matrix-vector operand size"
@@ -297,6 +310,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--train-epochs", type=int, default=2,
         help="[training] epochs for the variant-grid comparison",
+    )
+    bench.add_argument(
+        "--search-kinds", default="laser_power,hotspot", metavar="K1,K2,..",
+        help="[search] attack kinds to compare against their fixed grids",
+    )
+    bench.add_argument(
+        "--search-optimizers", default="random,evolutionary,halving",
+        metavar="O1,O2,..",
+        help="[search] optimizers run at the grid's evaluation budget",
     )
     bench.add_argument(
         "--repeats", type=int, default=None,
@@ -423,6 +445,92 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the given job's progress lines",
     )
     jobs.add_argument("--json", action="store_true", help="print as JSON")
+
+    search = sub.add_parser(
+        "search",
+        help="black-box attack search: Pareto front over damage vs. stealth",
+    )
+    search.add_argument(
+        "kind", nargs="?", default="hotspot",
+        help="attack kind whose parameter space to search (default: hotspot)",
+    )
+    search.add_argument(
+        "--model", default="cnn_mnist", help="workload model (default: cnn_mnist)"
+    )
+    search.add_argument(
+        "--variant", default="", metavar="V1,V2,..",
+        help="mitigation variant(s) to attack, one search per name "
+             "(default: the unmitigated model)",
+    )
+    search.add_argument(
+        "--block", default="both", choices=("conv", "fc", "both"),
+        help="attacked accelerator block (default: both)",
+    )
+    search.add_argument(
+        "--optimizer", default="random",
+        choices=("random", "evolutionary", "halving"),
+        help="random: uniform sampling; evolutionary: (mu+lambda) ES; "
+             "halving: successive halving over placement budgets "
+             "(default: random)",
+    )
+    search.add_argument(
+        "--budget", type=int, default=64,
+        help="scenario-evaluation budget — each candidate costs its "
+             "placement count (default: 64)",
+    )
+    search.add_argument(
+        "--generation", dest="generation_size", type=int, default=8,
+        help="candidates asked per optimizer generation (default: 8)",
+    )
+    search.add_argument(
+        "--placements", type=int, default=2,
+        help="random placements evaluated per candidate (default: 2)",
+    )
+    search.add_argument(
+        "--fraction-range", default="0.005,0.1", metavar="LO,HI",
+        help="attacked-MR fraction bounds (default: 0.005,0.1)",
+    )
+    search.add_argument(
+        "--sigma", type=float, default=0.2,
+        help="[evolutionary] mutation scale in the unit cube (default: 0.2)",
+    )
+    search.add_argument(
+        "--mu", type=int, default=0,
+        help="[evolutionary] parents kept per generation "
+             "(default: generation/4)",
+    )
+    search.add_argument(
+        "--eta", type=int, default=2,
+        help="[halving] survivor divisor per rung (default: 2)",
+    )
+    search.add_argument("--seed", type=int, default=0, help="search seed")
+    search.add_argument(
+        "--workers", "-j", default=None,
+        help="evaluate generations on a process pool of this size instead "
+             "of the stacked in-process path",
+    )
+    search.add_argument(
+        "--serial", action="store_true",
+        help="evaluate generations through the serial campaign executor",
+    )
+    search.add_argument(
+        "--serve", action="store_true",
+        help="submit each generation to a repro serve daemon as a zipped "
+             "sweep (inherits its retry/quarantine policy)",
+    )
+    add_client_args(search)
+    search.add_argument(
+        "--timeout", type=float, default=3600.0,
+        help="[--serve] max seconds to wait per generation (default: 3600)",
+    )
+    add_retry_args(search, scope="campaign/serve backends")
+    search.add_argument(
+        "--checkpoint-cache", action="store_true",
+        help="load/store the variant's trained-model checkpoint",
+    )
+    search.add_argument("--json", action="store_true", help="print the result as JSON")
+    search.add_argument("--quiet", "-q", action="store_true", help="no per-generation progress")
+    add_cache_args(search)
     return parser
 
 
@@ -465,7 +573,8 @@ def _cmd_attacks(args: argparse.Namespace) -> int:
     rows = []
     for info in kinds:
         params = ", ".join(
-            f"{name}={value}" for name, value in info["params"].items()
+            f"{name}={value}{_param_domain(info['param_info'].get(name, {}))}"
+            for name, value in info["params"].items()
         ) or "-"
         rows.append((info["kind"], params, info["summary"]))
     print(format_table(("kind", "parameters", "threat model"), rows))
@@ -475,7 +584,21 @@ def _cmd_attacks(args: argparse.Namespace) -> int:
     )
     print("e.g.  python -m repro sweep fig7_point --grid kind=" +
           ",".join(info["kind"] for info in kinds))
+    print("e.g.  python -m repro search hotspot --optimizer evolutionary --budget 64")
     return 0
+
+
+def _param_domain(info: dict) -> str:
+    """Render one parameter's search domain: ``[lo..hi]``/``{a|b}`` suffix."""
+    bounds = info.get("bounds")
+    if bounds is not None:
+        lo, hi = bounds
+        log = ",log" if info.get("log") else ""
+        return f"[{lo:g}..{hi:g}{log}]"
+    choices = info.get("choices")
+    if choices is not None:
+        return "{" + "|".join(str(choice) for choice in choices) + "}"
+    return ""
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -592,6 +715,122 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"in {summary['duration_s']}s"
         )
     return 1 if result.failures else 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    """Run one black-box attack search per requested mitigation variant."""
+    from repro.analysis.reporting import format_pareto_table
+    from repro.attacks.search import AttackSearch, AttackSearchConfig, SearchError
+    from repro.engine.executor import RetryPolicy
+
+    try:
+        parts = [float(part) for part in args.fraction_range.split(",")]
+        fraction_range = (parts[0], parts[1])
+        if len(parts) != 2:
+            raise ValueError
+    except (IndexError, ValueError):
+        print("error: --fraction-range expects LO,HI (e.g. 0.005,0.1)",
+              file=sys.stderr)
+        return 2
+    overrides = _retry_overrides(args)
+    retry = RetryPolicy.from_dict(overrides) if overrides else None
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    client = _make_client(args) if args.serve else None
+    workers = "serial" if args.serial else args.workers
+    variants = (
+        [part.strip() for part in args.variant.split(",")] if args.variant else [""]
+    )
+    payloads: dict[str, dict] = {}
+    for variant in variants:
+        try:
+            config = AttackSearchConfig(
+                kind=args.kind,
+                model=args.model,
+                variant=variant,
+                block=args.block,
+                optimizer=args.optimizer,
+                budget=args.budget,
+                generation_size=args.generation_size,
+                placements=args.placements,
+                fraction_range=fraction_range,
+                sigma=args.sigma,
+                mu=args.mu or None,
+                eta=args.eta,
+                checkpoint_cache=args.checkpoint_cache,
+                seed=args.seed,
+            )
+            search = AttackSearch(
+                config, cache=cache, workers=workers, client=client,
+                retry=retry, serve_timeout=args.timeout,
+            )
+        except (KeyError, ValueError) as exc:
+            message = exc.args[0] if exc.args else exc
+            print(f"error: {message}", file=sys.stderr)
+            return 1
+        name = variant or "(unmitigated)"
+        print(
+            f"search {args.kind} on {args.model} {name}: "
+            f"{args.optimizer} optimizer, budget {args.budget} "
+            f"({search.evaluator.name} evaluation)",
+            file=sys.stderr,
+        )
+
+        def progress(result) -> None:
+            if args.quiet or args.json:
+                return
+            best = result.best
+            best_note = (
+                f", best drop {best['drop_mean']:.3f} @ "
+                f"{best['num_attacked_mrs']} MRs" if best else ""
+            )
+            print(
+                f"[gen {result.generations}] {result.evaluations}/"
+                f"{config.budget} evaluations, {len(result.candidates)} "
+                f"candidates{best_note}",
+                flush=True,
+            )
+
+        with _graceful_sigterm():
+            try:
+                result = search.run(progress=progress)
+            except SearchError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            except KeyboardInterrupt:
+                resume = (
+                    "; evaluated candidates are cached — re-run the same "
+                    "search to resume" if cache is not None else ""
+                )
+                print(f"\ninterrupted{resume}", file=sys.stderr)
+                return EXIT_INTERRUPTED
+        payloads[name] = result.to_payload()
+        if not args.json:
+            title = (
+                f"Pareto front — {args.model} {name} {args.kind} "
+                f"({len(result.candidates)} candidates, "
+                f"baseline {result.baseline:.4f})"
+            )
+            print(format_pareto_table(result.front, title=title))
+            best = result.best
+            if best is not None:
+                print(
+                    f"best damage/MR: {best['damage_per_mr']:.2e} "
+                    f"(drop {best['drop_mean']:.3f} over "
+                    f"{best['num_attacked_mrs']} MRs at fraction "
+                    f"{best['fraction']:g})"
+                )
+            print(
+                f"done: {result.evaluations} evaluations in "
+                f"{result.generations} generations — {result.executed} "
+                f"executed, {result.cache_hits} cache hits in "
+                f"{result.duration_s:.2f}s"
+            )
+    if args.json:
+        print(json.dumps(
+            payloads if len(payloads) > 1 else payloads[next(iter(payloads))],
+            indent=2, sort_keys=True,
+        ))
+    return 0
 
 
 class _graceful_sigterm:
@@ -995,12 +1234,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
     durations: dict[str, list[float]] = {}
     last_runs: dict[str, str] = {}
+    pareto_groups: dict[tuple, list] = {}
     for record in cache.records(args.experiment):
         experiment_id = record.spec.experiment_id
         durations.setdefault(experiment_id, []).append(record.duration_s)
         last_runs[experiment_id] = max(
             last_runs.get(experiment_id, ""), record.started_at
         )
+        _collect_pareto_points(record, pareto_groups)
     per_experiment = {
         experiment_id: {
             "records": len(times),
@@ -1014,12 +1255,17 @@ def _cmd_report(args: argparse.Namespace) -> int:
     }
     checkpoints = _checkpoint_report(args.checkpoint_dir)
     corrupt = cache.quarantined_count()
+    fronts = _pareto_report(pareto_groups)
     if args.json:
         print(json.dumps(
             {
                 "experiments": per_experiment,
                 "checkpoints": checkpoints,
                 "corrupt_quarantined": corrupt,
+                "pareto": {
+                    "/".join(part or "-" for part in key): payload
+                    for key, payload in fronts.items()
+                },
             },
             indent=2, sort_keys=True,
         ))
@@ -1057,6 +1303,18 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(format_table(
             ("model checkpoints", "entries", "size_mb", "cache_hits"), rows
         ))
+    if fronts:
+        from repro.analysis.reporting import format_pareto_table
+
+        for key in sorted(fronts):
+            model, variant, kind = key
+            evaluated = len(pareto_groups[key])
+            title = (
+                f"Pareto front — {model} {variant or '(unmitigated)'} {kind} "
+                f"({evaluated} cached candidates)"
+            )
+            print()
+            print(format_pareto_table(fronts[key], title=title))
     if corrupt:
         print(
             f"\nWARNING: {corrupt} corrupt cache file(s) quarantined under "
@@ -1081,8 +1339,55 @@ def _checkpoint_report(checkpoint_dir: str | None) -> dict[str, dict]:
     return summary
 
 
+def _collect_pareto_points(record, groups: dict[tuple, list]) -> None:
+    """Fold one cached record into the (model, variant, kind) Pareto pools.
+
+    ``fig7_candidate`` records contribute themselves; ``fig7_adversarial``
+    records contribute their embedded front (already reduced per search).
+    """
+    from repro.attacks.search.pareto import ParetoPoint
+
+    if not record.ok or not record.payload:
+        return
+    payload = record.payload
+    experiment_id = record.spec.experiment_id
+    if experiment_id == "fig7_candidate":
+        key = (payload["model"], payload.get("variant", ""), payload["kind"])
+        params = ",".join(
+            f"{k}={v}" for k, v in sorted((payload.get("attack_params") or {}).items())
+        )
+        inner = f"fraction={payload['fraction']}" + (f",{params}" if params else "")
+        groups.setdefault(key, []).append(ParetoPoint(
+            stealth=int(payload["num_attacked_mrs"]),
+            damage=float(payload["drop_mean"]),
+            label=f"{payload['kind']}[{inner}]x{payload['placements']}",
+        ))
+    elif experiment_id == "fig7_adversarial":
+        key = (payload["model"], payload.get("variant", ""), payload["kind"])
+        for point in payload.get("front", ()):
+            groups.setdefault(key, []).append(ParetoPoint(
+                stealth=int(point["num_attacked_mrs"]),
+                damage=float(point["accuracy_drop"]),
+                label=point.get("label", ""),
+            ))
+
+
+def _pareto_report(groups: dict[tuple, list]) -> dict[tuple, list]:
+    """Reduce each candidate pool to its front, as JSON-ready dicts."""
+    from repro.attacks.search.pareto import front_payload, pareto_front
+
+    return {
+        key: front_payload(pareto_front(points))
+        for key, points in groups.items()
+    }
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
-    suites = ("signal", "scenario", "training") if args.suite == "all" else (args.suite,)
+    suites = (
+        ("signal", "scenario", "training", "search")
+        if args.suite == "all"
+        else (args.suite,)
+    )
     payloads: dict[str, dict] = {}
     reports: list[str] = []
     for suite in suites:
@@ -1122,6 +1427,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 output=output,
             )
             report = format_training_bench_report(results)
+        elif suite == "search":
+            from repro.analysis.search_bench import (
+                format_search_bench_report,
+                run_attack_search_bench,
+            )
+
+            results = run_attack_search_bench(
+                model=args.bench_model,
+                kinds=tuple(
+                    part for part in args.search_kinds.split(",") if part
+                ),
+                optimizers=tuple(
+                    part for part in args.search_optimizers.split(",") if part
+                ),
+                seed=args.seed,
+                output=output,
+            )
+            report = format_search_bench_report(results)
         else:
             from repro.analysis.scenario_batch_bench import (
                 format_scenario_bench_report,
@@ -1156,6 +1479,7 @@ def _default_bench_output(suite: str) -> str:
         "signal": "BENCH_signal_core.json",
         "scenario": "BENCH_scenario_batch.json",
         "training": "BENCH_training.json",
+        "search": "BENCH_search.json",
     }[suite]
 
 
@@ -1170,6 +1494,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "search":
+            return _cmd_search(args)
         if args.command == "train":
             return _cmd_train(args)
         if args.command == "report":

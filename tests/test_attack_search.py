@@ -1,0 +1,521 @@
+"""Tests for repro.attacks.search: spaces, optimizers, Pareto, driver, CLI.
+
+The driver tests exercise the three evaluation backends (stacked in-process,
+serial/process-pool campaign, live ``repro serve`` daemon) against real
+``cnn_mnist`` candidate evaluations — the workload trains once per process
+and is cached, so these stay fast.  The kill-resume test drives the real CLI
+in a subprocess and SIGKILLs it mid-search to prove the content-addressed
+cache resumes interrupted searches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.attacks.hotspot import HotspotAttackConfig
+from repro.attacks.registry import PARAM_METADATA_KEYS, attack_kind_info, get_attack_kind
+from repro.attacks.search import (
+    AttackSearch,
+    AttackSearchConfig,
+    Candidate,
+    MuPlusLambdaES,
+    ParetoPoint,
+    RandomSearch,
+    SuccessiveHalving,
+    dominates,
+    front_dominates,
+    front_payload,
+    make_optimizer,
+    pareto_front,
+    space_for_kind,
+)
+from repro.attacks.search.space import Dimension, quantize
+from repro.engine.cache import ResultCache
+from repro.engine.cli import main as cli_main
+from repro.utils.validation import ValidationError
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+# ------------------------------------------------------------- search space
+class TestSearchSpace:
+    def test_laser_power_space_dims(self):
+        space = space_for_kind("laser_power")
+        assert [dim.name for dim in space.dims] == ["fraction", "residual_power"]
+        fraction, residual = space.dims
+        assert (fraction.lower, fraction.upper) == (0.005, 0.10)
+        assert (residual.lower, residual.upper) == (0.0, 1.0)
+
+    def test_hotspot_space_excludes_unsearchable_fields(self):
+        space = space_for_kind("hotspot")
+        names = [dim.name for dim in space.dims]
+        assert names == ["fraction", "heater_power_mw"]
+        assert space.dims[1].log  # heater power is sampled logarithmically
+
+    def test_triggered_space_is_fraction_only(self):
+        # every triggered params field opts out with search=False
+        space = space_for_kind("triggered")
+        assert [dim.name for dim in space.dims] == ["fraction"]
+
+    def test_decode_respects_bounds_and_quantizes(self):
+        space = space_for_kind("laser_power", fraction_range=(0.01, 0.08))
+        lo = space.decode(np.zeros(space.size))
+        hi = space.decode(np.ones(space.size))
+        assert lo == {"fraction": 0.01, "params": {"residual_power": 0.0}}
+        assert hi == {"fraction": 0.08, "params": {"residual_power": 1.0}}
+        mid = space.decode(np.array([1 / 3, 2 / 3]))
+        assert mid["fraction"] == quantize(0.01 + (0.08 - 0.01) / 3)
+        assert mid["params"]["residual_power"] == quantize(2 / 3)
+
+    def test_log_dimension_decodes_geometrically(self):
+        dim = Dimension(name="p", lower=1.0, upper=100.0, log=True)
+        assert dim.decode(0.0) == 1.0
+        assert dim.decode(1.0) == 100.0
+        assert dim.decode(0.5) == 10.0  # geometric midpoint
+
+    def test_categorical_dimension_decode(self):
+        dim = Dimension(name="mode", kind="categorical", choices=("a", "b", "c"))
+        assert [dim.decode(u) for u in (0.0, 0.4, 0.9, 1.0)] == ["a", "b", "c", "c"]
+
+    def test_integer_dimension_decode(self):
+        dim = Dimension(name="rows", kind="integer", lower=4, upper=8)
+        assert dim.decode(0.0) == 4 and dim.decode(1.0) == 8
+        assert isinstance(dim.decode(0.5), int)
+
+    def test_invalid_fraction_range_rejected(self):
+        with pytest.raises(ValidationError):
+            space_for_kind("hotspot", fraction_range=(0.0, 0.1))
+        with pytest.raises(ValidationError):
+            space_for_kind("hotspot", fraction_range=(0.2, 0.1))
+
+    def test_quantize_six_significant_digits(self):
+        assert quantize(0.123456789) == 0.123457
+        assert quantize(0.0) == 0.0
+        assert quantize(1234567.89) == 1234570.0
+
+
+# ------------------------------------------- bounds metadata and validation
+class TestParamBounds:
+    def test_attack_kind_info_exposes_param_info(self):
+        rows = {row["kind"]: row for row in attack_kind_info()}
+        info = rows["hotspot"]["param_info"]
+        assert info["heater_power_mw"]["bounds"] == (1.0, 2000.0)
+        assert info["heater_power_mw"]["log"] is True
+        assert info["heater_power_mw"]["searchable"] is True
+        assert info["grid_rows"]["searchable"] is False
+        assert rows["triggered"]["param_info"]["trigger"]["choices"] == (
+            "always_on", "inference_count", "external",
+        )
+        assert "bounds" in PARAM_METADATA_KEYS and "choices" in PARAM_METADATA_KEYS
+
+    def test_coerce_params_rejects_out_of_bounds_mapping(self):
+        with pytest.raises(ValidationError, match="hotspot.heater_power_mw"):
+            get_attack_kind("hotspot").coerce_params({"heater_power_mw": 1e6})
+        with pytest.raises(ValidationError, match="residual_power"):
+            get_attack_kind("laser_power").coerce_params({"residual_power": -0.1})
+        with pytest.raises(ValidationError, match="leakage_power_mw"):
+            get_attack_kind("crosstalk").coerce_params({"leakage_power_mw": 0.0})
+
+    def test_coerce_params_rejects_out_of_bounds_instance(self):
+        config = HotspotAttackConfig(grid_rows=2)
+        with pytest.raises(ValidationError, match="hotspot.grid_rows"):
+            get_attack_kind("hotspot").coerce_params(config)
+
+    def test_coerce_params_rejects_bad_choice(self):
+        with pytest.raises(ValidationError, match="trigger"):
+            get_attack_kind("triggered").coerce_params({"trigger": "bogus"})
+
+    def test_coerce_params_accepts_in_bounds_values(self):
+        params = get_attack_kind("hotspot").coerce_params(
+            {"heater_power_mw": 1500.0}
+        )
+        assert params.heater_power_mw == 1500.0
+        assert get_attack_kind("laser_power").coerce_params(
+            {"residual_power": 0.0}
+        ).residual_power == 0.0
+
+
+# --------------------------------------------------------------- optimizers
+def _space():
+    return space_for_kind("laser_power")
+
+
+class TestOptimizers:
+    def test_random_search_is_seed_deterministic(self):
+        a = RandomSearch(_space(), seed=7, generation_size=5, placements=1)
+        b = RandomSearch(_space(), seed=7, generation_size=5, placements=1)
+        c = RandomSearch(_space(), seed=8, generation_size=5, placements=1)
+        asked_a, asked_b, asked_c = a.ask(), b.ask(), c.ask()
+        assert [x.vector for x in asked_a] == [x.vector for x in asked_b]
+        assert [x.vector for x in asked_a] != [x.vector for x in asked_c]
+        assert all(0.0 <= v <= 1.0 for cand in asked_a for v in cand.vector)
+        assert all(cand.cost == 1 for cand in asked_a)
+        assert not a.done
+
+    def test_candidate_decodes_through_space(self):
+        opt = RandomSearch(_space(), seed=0, generation_size=2, placements=3)
+        candidate = opt.ask()[0]
+        assert isinstance(candidate, Candidate)
+        assert set(candidate.values) == {"fraction", "params"}
+        assert candidate.placements == 3
+
+    def test_es_keeps_top_mu_parents(self):
+        opt = MuPlusLambdaES(
+            _space(), seed=1, generation_size=4, placements=1, mu=2, sigma=0.1
+        )
+        first = opt.ask()  # random cold start
+        opt.tell(first, [0.1, 0.9, 0.3, 0.7])
+        parents = [tuple(vec) for vec, _ in opt._parents]
+        assert parents == [first[1].vector, first[3].vector]
+        children = opt.ask()
+        assert len(children) == 4
+        # deterministic: an identical optimizer retraces the same children
+        twin = MuPlusLambdaES(
+            _space(), seed=1, generation_size=4, placements=1, mu=2, sigma=0.1
+        )
+        twin.tell(twin.ask(), [0.1, 0.9, 0.3, 0.7])
+        assert [c.vector for c in twin.ask()] == [c.vector for c in children]
+
+    def test_halving_schedule_and_done(self):
+        opt = SuccessiveHalving(
+            _space(), seed=2, generation_size=4, placements=1, eta=2
+        )
+        rung0 = opt.ask()
+        assert len(rung0) == 4 and all(c.placements == 1 for c in rung0)
+        opt.tell(rung0, [0.4, 0.1, 0.8, 0.2])
+        rung1 = opt.ask()
+        assert len(rung1) == 2 and all(c.placements == 2 for c in rung1)
+        assert rung1[0].vector == rung0[2].vector  # best survivor first
+        opt.tell(rung1, [0.5, 0.6])
+        rung2 = opt.ask()
+        assert len(rung2) == 1 and rung2[0].placements == 4
+        opt.tell(rung2, [0.7])
+        assert opt.done and opt.ask() == []
+
+    def test_make_optimizer_strips_foreign_kwargs(self):
+        opt = make_optimizer(
+            "random", _space(), seed=0, generation_size=2, placements=1,
+            mu=None, sigma=0.3, eta=3,
+        )
+        assert isinstance(opt, RandomSearch)
+        with pytest.raises(ValidationError):
+            make_optimizer("annealing", _space())
+
+
+# ------------------------------------------------------------------- pareto
+class TestPareto:
+    def test_dominates(self):
+        a = ParetoPoint(stealth=10, damage=0.5)
+        assert dominates(a, ParetoPoint(stealth=20, damage=0.5))
+        assert dominates(a, ParetoPoint(stealth=10, damage=0.4))
+        assert not dominates(a, ParetoPoint(stealth=10, damage=0.5))
+        assert not dominates(a, ParetoPoint(stealth=5, damage=0.6))
+
+    def test_pareto_front_filters_and_orders(self):
+        points = [
+            ParetoPoint(stealth=50, damage=0.30, label="mid"),
+            ParetoPoint(stealth=10, damage=0.10, label="stealthy"),
+            ParetoPoint(stealth=50, damage=0.20, label="dominated"),
+            ParetoPoint(stealth=100, damage=0.90, label="loud"),
+            ParetoPoint(stealth=10, damage=0.10, label="duplicate"),
+        ]
+        front = pareto_front(points)
+        assert [p.label for p in front] == ["stealthy", "mid", "loud"]
+
+    def test_front_dominates(self):
+        reference = [
+            ParetoPoint(stealth=100, damage=0.2),
+            ParetoPoint(stealth=500, damage=0.5),
+        ]
+        better = [ParetoPoint(stealth=80, damage=0.6)]
+        assert front_dominates(better, reference)
+        partial = [ParetoPoint(stealth=80, damage=0.3)]  # misses the 0.5 point
+        assert not front_dominates(partial, reference)
+        assert not front_dominates([], reference)
+        assert not front_dominates(reference, reference)  # equal: no strict win
+        assert front_dominates(
+            [ParetoPoint(stealth=80, damage=0.49)], reference, tol=0.02
+        )
+
+    def test_front_payload(self):
+        payload = front_payload(
+            [ParetoPoint(stealth=3, damage=0.25, label="x", meta={"f": 0.01})]
+        )
+        assert payload == [
+            {
+                "num_attacked_mrs": 3,
+                "accuracy_drop": 0.25,
+                "label": "x",
+                "meta": {"f": 0.01},
+            }
+        ]
+
+
+# ------------------------------------------------------------------- driver
+def _config(**overrides) -> AttackSearchConfig:
+    defaults = dict(
+        kind="laser_power",
+        model="cnn_mnist",
+        optimizer="random",
+        budget=6,
+        generation_size=3,
+        placements=1,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return AttackSearchConfig(**defaults)
+
+
+class TestAttackSearchDriver:
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            _config(optimizer="annealing")
+        with pytest.raises(ValidationError):
+            _config(budget=0)
+
+    def test_backends_produce_identical_trajectories(self, tmp_path):
+        batched = AttackSearch(_config()).run()
+        serial = AttackSearch(_config(), workers="serial").run()
+        pooled = AttackSearch(
+            _config(), cache=ResultCache(tmp_path / "pool"), workers=2
+        ).run()
+        assert batched.trajectory_json() == serial.trajectory_json()
+        assert batched.trajectory_json() == pooled.trajectory_json()
+        assert front_payload(batched.front) == front_payload(pooled.front)
+        assert batched.evaluations == 6 and batched.generations == 2
+        assert len(batched.front) >= 1
+        assert batched.baseline > 0.5  # trained workload, sane clean accuracy
+
+    def test_cache_resume_skips_completed_candidates(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        fresh = AttackSearch(_config(), cache=cache).run()
+        assert fresh.executed == len(fresh.candidates) and fresh.cache_hits == 0
+        again = AttackSearch(_config(), cache=cache).run()
+        assert again.executed == 0
+        assert again.cache_hits == len(fresh.candidates)
+        assert again.trajectory_json() == fresh.trajectory_json()
+
+    def test_partial_cache_resumes_only_missing_candidates(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        # a shorter run under the same seed covers exactly the first generation
+        partial = AttackSearch(_config(budget=3), cache=cache).run()
+        assert partial.executed == 3
+        full = AttackSearch(_config(), cache=cache).run()
+        assert full.cache_hits == 3 and full.executed == len(full.candidates) - 3
+        reference = AttackSearch(_config()).run()
+        assert full.trajectory_json() == reference.trajectory_json()
+
+    def test_evolutionary_and_halving_run_end_to_end(self):
+        es = AttackSearch(
+            _config(optimizer="evolutionary", budget=6, mu=1)
+        ).run()
+        halving = AttackSearch(
+            _config(optimizer="halving", budget=8, generation_size=4)
+        ).run()
+        assert es.generations == 2 and len(es.candidates) == 6
+        assert halving.generations >= 2
+        # halving re-evaluates survivors at doubled placements
+        assert {c["placements"] for c in halving.candidates} >= {1, 2}
+
+    def test_payload_shape_and_best(self):
+        result = AttackSearch(_config()).run()
+        payload = result.to_payload()
+        assert payload["kind"] == "laser_power"
+        assert payload["num_candidates"] == len(payload["candidates"])
+        assert payload["evaluations"] == 6
+        for key in ("executed", "cache_hits", "duration_s"):
+            assert key not in payload  # payload must stay execution-independent
+        best = payload["best"]
+        assert best["damage_per_mr"] == max(
+            c["damage_per_mr"] for c in payload["candidates"]
+        )
+        fronts = payload["front"]
+        stealths = [p["num_attacked_mrs"] for p in fronts]
+        assert stealths == sorted(stealths)
+
+    def test_kill_resume_from_result_cache(self, tmp_path):
+        """SIGKILL a real CLI search mid-run; the rerun resumes from cache."""
+        cache_dir = tmp_path / "cache"
+        argv = [
+            sys.executable, "-m", "repro", "search", "laser_power",
+            "--budget", "12", "--generation", "4", "--placements", "1",
+            "--seed", "5", "--cache-dir", str(cache_dir),
+        ]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.Popen(
+            argv, env=env, cwd=REPO_ROOT,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if proc.poll() is not None:
+                    break  # finished before we could kill it: full-cache resume
+                done = len(list(ResultCache(cache_dir).records("fig7_candidate")))
+                if done >= 1:
+                    proc.send_signal(signal.SIGKILL)
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("search subprocess produced no cached record in time")
+        finally:
+            proc.kill()
+            proc.wait()
+        cached = len(list(ResultCache(cache_dir).records("fig7_candidate")))
+        assert cached >= 1
+        config = _config(budget=12, generation_size=4, seed=5)
+        resumed = AttackSearch(config, cache=ResultCache(cache_dir)).run()
+        assert resumed.cache_hits >= 1
+        assert resumed.cache_hits + resumed.executed == len(resumed.candidates)
+        reference = AttackSearch(config).run()  # fresh, no cache
+        assert resumed.trajectory_json() == reference.trajectory_json()
+
+
+# -------------------------------------------------------------------- serve
+class TestServeBackend:
+    @pytest.fixture(scope="class")
+    def daemon(self, tmp_path_factory):
+        from repro.serve.api import ServeDaemon
+        from repro.serve.service import CampaignService
+
+        tmp = tmp_path_factory.mktemp("search-serve")
+        service = CampaignService(
+            jobstore_dir=tmp / "jobs", cache_dir=tmp / "cache", workers=2
+        )
+        daemon = ServeDaemon(service, port=0)
+        daemon.start()
+        yield daemon
+        daemon.shutdown()
+
+    def test_search_generations_run_as_serve_sweeps(self, daemon):
+        from repro.serve.client import ServeClient
+
+        config = _config(budget=4, generation_size=2)
+        search = AttackSearch(config, client=ServeClient(daemon.url))
+        assert search.evaluator.name == "serve"
+        remote = search.run()
+        local = AttackSearch(config).run()
+        assert remote.trajectory_json() == local.trajectory_json()
+        assert remote.executed + remote.cache_hits == len(remote.candidates)
+
+
+# ----------------------------------------------------------- experiments/CLI
+class TestExperimentAndCli:
+    def test_fig7_adversarial_experiment_matches_driver(self):
+        from repro.analysis.experiments import get_experiment
+
+        payload = get_experiment("fig7_adversarial").run(
+            {"kind": "laser_power", "budget": 4, "generation_size": 2,
+             "placements": 1},
+            seed=3,
+        )
+        direct = AttackSearch(
+            _config(budget=4, generation_size=2, seed=3)
+        ).run().to_payload()
+        assert payload == direct
+
+    def test_cli_search_json_and_cache_determinism(self, tmp_path, capsys):
+        argv = [
+            "search", "laser_power", "--budget", "4", "--generation", "2",
+            "--placements", "1", "--seed", "3", "--json", "-q",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert cli_main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert cli_main(argv) == 0  # second run: all cache hits
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+        assert first["front"] and first["num_candidates"] == 4
+
+    def test_cli_search_rejects_bad_args(self, capsys):
+        assert cli_main(
+            ["search", "laser_power", "--fraction-range", "nope"]
+        ) == 2
+        assert "fraction-range" in capsys.readouterr().err
+        assert cli_main(["search", "not_a_kind", "--budget", "2"]) == 1
+        assert "not_a_kind" in capsys.readouterr().err
+
+    def test_cli_attacks_shows_bounds_and_choices(self, capsys):
+        assert cli_main(["attacks"]) == 0
+        out = capsys.readouterr().out
+        assert "[1..2000,log]" in out  # hotspot heater bounds
+        assert "{always_on|inference_count|external}" in out
+        assert cli_main(["attacks", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_kind = {row["kind"]: row for row in payload["kinds"]}
+        assert by_kind["laser_power"]["param_info"]["residual_power"]["bounds"] == [
+            0.0, 1.0,
+        ]
+
+    def test_cli_report_includes_pareto_section(self, tmp_path, capsys):
+        run = [
+            "search", "laser_power", "--budget", "4", "--generation", "2",
+            "--placements", "1", "--seed", "3", "-q",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert cli_main(run) == 0
+        capsys.readouterr()
+        assert cli_main(["report", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto front —" in out and "laser_power" in out
+        assert cli_main(["report", "--cache-dir", str(tmp_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        key = "cnn_mnist/-/laser_power"
+        assert payload["pareto"][key]
+        assert all(
+            point["accuracy_drop"] >= 0 or True for point in payload["pareto"][key]
+        )
+
+    def test_search_bench_report_formatting(self):
+        from repro.analysis.search_bench import format_search_bench_report
+
+        report = format_search_bench_report(
+            {
+                "version": "0", "python": "3", "numpy": "2",
+                "model": "cnn_mnist", "seed": 0,
+                "throughput": {
+                    "kind": "laser_power", "block": "fc", "budget": 32,
+                    "batched_candidates_per_s": 300.0,
+                    "serial_candidates_per_s": 30.0,
+                    "speedup_batched_vs_serial": 10.0,
+                    "trajectories_identical": True,
+                },
+                "kinds": {
+                    "laser_power": {
+                        "grid": {
+                            "fractions": [0.01], "placements": 8, "budget": 8,
+                            "points": [
+                                {"num_attacked_mrs": 700, "accuracy_drop": 0.1,
+                                 "label": "g"}
+                            ],
+                        },
+                        "optimizers": {
+                            "random": {
+                                "front": [
+                                    {"num_attacked_mrs": 600,
+                                     "accuracy_drop": 0.4, "label": "s"}
+                                ],
+                                "best_drop_mean": 0.4,
+                                "dominates_grid": True,
+                            },
+                        },
+                        "any_dominates_grid": True,
+                    },
+                },
+                "any_dominates_grid": True,
+            }
+        )
+        assert "DOMINATES grid" in report
+        assert "any searched front dominates its fixed grid: True" in report
