@@ -1,0 +1,51 @@
+"""Benchmark: fast vs reference compute backend.
+
+Compares the two registered compute backends (:mod:`repro.nn.backend`) on
+plain and stacked ensemble forwards of the three workload models and on one
+stacked variant-grid training pass, checking tolerance-tested (not
+bit-exact) agreement of the fast backend against the reference path, and
+emits ``BENCH_backends.json``.
+
+Run directly (``python benchmarks/bench_backends.py [output.json]``) or via
+the CLI (``python -m repro bench --suite backends``); a pytest-benchmark
+entry point is provided for the opt-in benchmark suite.  The speedup is
+hardware-bound (threaded slab matmuls need cores), so the only gating
+assertion is the tolerance agreement.
+"""
+
+from __future__ import annotations
+
+import sys
+
+DEFAULT_OUTPUT = "BENCH_backends.json"
+
+
+def test_backends_agreement(benchmark):
+    """Fast-vs-reference agreement and speedup (opt-in bench suite)."""
+    from repro.analysis.backends_bench import run_backends_bench
+
+    results = benchmark.pedantic(
+        lambda: run_backends_bench(output=DEFAULT_OUTPUT),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["speedup"] = results["speedup"]
+    benchmark.extra_info["threads"] = results["threads"]
+    assert results["equivalent_within_tol"]
+
+
+def main(argv: list[str]) -> int:
+    from repro.analysis.backends_bench import (
+        format_backends_bench_report,
+        run_backends_bench,
+    )
+
+    output = argv[0] if argv else DEFAULT_OUTPUT
+    results = run_backends_bench(output=output)
+    print(format_backends_bench_report(results))
+    print(f"\nwrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,330 @@
+"""Fast vs reference compute-backend benchmark.
+
+Compares the two registered compute backends (:mod:`repro.nn.backend`) on
+the workloads where the backend choice matters:
+
+* per-model **inference agreement + timing** — the plain forward and a
+  stacked multi-scenario ensemble forward of each workload model, fast vs
+  reference, with the maximum logits disagreement recorded;
+* the **stacked variant-grid training benchmark** — the headline number:
+  one :func:`~repro.mitigation.robust_training.train_variant_grid_stacked`
+  pass over the mitigation grid under each backend, with the speedup and the
+  final-weight / baseline-accuracy disagreement.
+
+The reference backend *is* the historical code path (bit-identical by
+construction); the fast backend is tolerance-tested, not bit-exact — its
+workspace reuse and fused reductions may reorder float operations — so the
+agreement checks use explicit tolerances and the combined verdict lands in
+``equivalent_within_tol``.  The wall-clock numbers are a non-gating
+perf-trajectory artefact (``BENCH_backends.json``); the tolerance checks are
+what CI fails loudly on.
+
+Threaded speedups are hardware-bound: on a single-core box the fast
+backend's thread pool cannot help and the two backends converge to the cost
+of their shared BLAS calls, so ``cpu_count`` is recorded next to every
+timing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+from repro.version import __version__
+
+__all__ = [
+    "run_backends_bench",
+    "format_backends_bench_report",
+    "FORWARD_TOL",
+    "WEIGHT_TOL",
+    "ACCURACY_TOL",
+]
+
+#: Max |logits| disagreement allowed between backends on a forward pass.
+FORWARD_TOL = 1e-4
+#: Max |weight| disagreement after a full stacked variant-grid training run.
+WEIGHT_TOL = 5e-4
+#: Max baseline-accuracy disagreement after a full training run.
+ACCURACY_TOL = 0.02
+
+#: Scenario count of the stacked ensemble-forward comparison.
+_STACKED_SCENARIOS = 6
+
+#: Per-workload sizing for the inference comparison, kept small enough that
+#: the three-model sweep stays a CI-friendly artefact.
+_MODEL_DEFAULTS: dict[str, dict[str, object]] = {
+    "cnn_mnist": {
+        "num_samples": 128,
+        "dataset_kwargs": {},
+        "model_kwargs": {},
+    },
+    "resnet18": {
+        "num_samples": 96,
+        "dataset_kwargs": {},
+        "model_kwargs": {},
+    },
+    "vgg16_variant": {
+        "num_samples": 96,
+        "dataset_kwargs": {"image_size": 48},
+        "model_kwargs": {"image_size": 48},
+    },
+}
+
+
+def run_backends_bench(
+    models: tuple[str, ...] = ("cnn_mnist", "resnet18", "vgg16_variant"),
+    threads: int | None = None,
+    train_model: str = "cnn_mnist",
+    train_samples: int = 256,
+    epochs: int = 2,
+    num_variants: int | None = None,
+    repeats: int = 2,
+    seed: int = 0,
+    output: str | Path | None = None,
+) -> dict:
+    """Run the backend comparison and optionally write it as JSON.
+
+    ``threads`` sizes the fast backend's pool (``None``: ``REPRO_NN_THREADS``
+    or all cores); the reference backend ignores it.  ``num_variants``
+    truncates the default 11-variant grid of the training section.
+    """
+    from repro.nn import _numba_kernels
+    from repro.nn.backend import resolve_threads
+
+    resolved_threads = resolve_threads(threads)
+    results: dict = {
+        "benchmark": "backends",
+        "version": __version__,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "threads": resolved_threads,
+        "numba": bool(_numba_kernels.NUMBA_AVAILABLE),
+        "tolerances": {
+            "forward": FORWARD_TOL,
+            "weight": WEIGHT_TOL,
+            "accuracy": ACCURACY_TOL,
+        },
+        "models": {},
+    }
+    for model in models:
+        results["models"][model] = _inference_section(model, threads, repeats, seed)
+    results["training"] = _training_section(
+        train_model, threads, train_samples, epochs, num_variants, repeats, seed
+    )
+    results["speedup"] = results["training"]["speedup_fast_vs_reference"]
+    results["equivalent_within_tol"] = bool(
+        results["training"]["equivalent_within_tol"]
+        and all(
+            section["equivalent_within_tol"]
+            for section in results["models"].values()
+        )
+    )
+    if output is not None:
+        Path(output).write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    return results
+
+
+def _first_batch(model_name: str, seed: int) -> np.ndarray:
+    """One deterministic evaluation batch of the workload's dataset."""
+    from repro.datasets.base import DataLoader
+    from repro.datasets.registry import load_dataset
+    from repro.nn.models.registry import MODEL_DATASETS
+
+    defaults = _MODEL_DEFAULTS[model_name]
+    dataset = load_dataset(
+        MODEL_DATASETS[model_name],
+        num_samples=int(defaults["num_samples"]),
+        seed=seed,
+        **dict(defaults["dataset_kwargs"]),
+    )
+    loader = DataLoader(dataset, batch_size=64, shuffle=False)
+    images, _ = next(iter(loader))
+    return images
+
+
+def _perturbed_stack(state: dict[str, np.ndarray], scenarios: int) -> dict:
+    """A deterministic ``name -> (S, *shape)`` stack of perturbed weights."""
+    from repro.nn.ensemble import stack_state_dicts
+
+    states = [
+        {
+            name: (value * (1.0 + 0.003 * s)).astype(value.dtype, copy=False)
+            for name, value in state.items()
+        }
+        for s in range(scenarios)
+    ]
+    return stack_state_dicts(states)
+
+
+def _inference_section(
+    model_name: str, threads: int | None, repeats: int, seed: int
+) -> dict:
+    """Plain + stacked forward agreement and timing for one workload."""
+    from repro.nn.backend import get_backend, use_backend
+    from repro.nn.ensemble import stacked_state
+    from repro.nn.models.registry import build_model
+
+    defaults = _MODEL_DEFAULTS[model_name]
+    images = _first_batch(model_name, seed)
+    model = build_model(
+        model_name, profile="scaled", rng=seed, **dict(defaults["model_kwargs"])
+    )
+    model.eval()
+    stacked = _perturbed_stack(model.state_dict(), _STACKED_SCENARIOS)
+    timings: dict[str, dict[str, float]] = {}
+    logits: dict[str, dict[str, np.ndarray]] = {}
+    for backend in ("reference", "fast"):
+        with use_backend(backend, threads):
+            plain_s = float("inf")
+            stacked_s = float("inf")
+            for _ in range(max(repeats, 1)):
+                start = perf_counter()
+                plain = model(images)
+                plain_s = min(plain_s, perf_counter() - start)
+                with stacked_state(model, stacked):
+                    start = perf_counter()
+                    ensemble = model(images)
+                    stacked_s = min(stacked_s, perf_counter() - start)
+            get_backend(backend).release_workspaces()
+        timings[backend] = {"forward_s": plain_s, "stacked_forward_s": stacked_s}
+        logits[backend] = {"plain": plain, "stacked": ensemble}
+    forward_diff = float(
+        np.max(np.abs(logits["fast"]["plain"] - logits["reference"]["plain"]))
+    )
+    stacked_diff = float(
+        np.max(np.abs(logits["fast"]["stacked"] - logits["reference"]["stacked"]))
+    )
+    return {
+        "batch": int(images.shape[0]),
+        "stacked_scenarios": _STACKED_SCENARIOS,
+        "reference": timings["reference"],
+        "fast": timings["fast"],
+        "speedup_forward": timings["reference"]["forward_s"]
+        / timings["fast"]["forward_s"],
+        "speedup_stacked_forward": timings["reference"]["stacked_forward_s"]
+        / timings["fast"]["stacked_forward_s"],
+        "max_abs_logits_diff": forward_diff,
+        "max_abs_stacked_logits_diff": stacked_diff,
+        "equivalent_within_tol": bool(
+            forward_diff <= FORWARD_TOL and stacked_diff <= FORWARD_TOL
+        ),
+    }
+
+
+def _training_section(
+    model: str,
+    threads: int | None,
+    num_samples: int,
+    epochs: int,
+    num_variants: int | None,
+    repeats: int,
+    seed: int,
+) -> dict:
+    """Stacked variant-grid training under each backend: speedup + agreement."""
+    from repro.datasets.base import train_test_split
+    from repro.datasets.registry import load_dataset
+    from repro.mitigation.robust_training import (
+        default_variant_grid,
+        train_variant_grid_stacked,
+    )
+    from repro.nn.backend import get_backend, use_backend
+    from repro.nn.models.registry import MODEL_DATASETS
+    from repro.nn.training import TrainingConfig
+
+    dataset = load_dataset(MODEL_DATASETS[model], num_samples=num_samples, seed=seed)
+    split = train_test_split(dataset, 0.25, seed=seed + 1)
+    config = TrainingConfig(epochs=epochs, batch_size=32, lr=2e-3, seed=seed)
+    variants = default_variant_grid()
+    if num_variants is not None:
+        variants = variants[:num_variants]
+
+    timings: dict[str, float] = {}
+    trained: dict[str, list] = {}
+    for backend in ("reference", "fast"):
+        best = float("inf")
+        for _ in range(max(repeats, 1)):
+            with use_backend(backend, threads):
+                start = perf_counter()
+                grid = train_variant_grid_stacked(
+                    model, split, config, variants=variants
+                )
+                best = min(best, perf_counter() - start)
+            get_backend(backend).release_workspaces()
+        timings[backend] = best
+        trained[backend] = grid
+
+    accuracy_diff = max(
+        abs(a.baseline_accuracy - b.baseline_accuracy)
+        for a, b in zip(trained["reference"], trained["fast"])
+    )
+    weight_diff = 0.0
+    for a, b in zip(trained["reference"], trained["fast"]):
+        state_a, state_b = a.model.full_state_dict(), b.model.full_state_dict()
+        weight_diff = max(
+            weight_diff,
+            max(float(np.max(np.abs(state_a[k] - state_b[k]))) for k in state_a),
+        )
+    return {
+        "model": model,
+        "num_variants": len(variants),
+        "train_samples": len(split.train),
+        "epochs": epochs,
+        "reference_s": timings["reference"],
+        "fast_s": timings["fast"],
+        "speedup_fast_vs_reference": timings["reference"] / timings["fast"],
+        "max_abs_accuracy_diff": float(accuracy_diff),
+        "max_abs_weight_diff": float(weight_diff),
+        "equivalent_within_tol": bool(
+            accuracy_diff <= ACCURACY_TOL and weight_diff <= WEIGHT_TOL
+        ),
+    }
+
+
+def format_backends_bench_report(results: dict) -> str:
+    """Human-readable summary of a :func:`run_backends_bench` result."""
+    lines = [
+        f"compute-backend benchmark (repro {results['version']}, "
+        f"python {results['python']}, numpy {results['numpy']}, "
+        f"{results['cpu_count']} cores, {results['threads']} threads, "
+        f"numba {'on' if results['numba'] else 'off'})",
+        "",
+    ]
+    for model, section in results["models"].items():
+        lines += [
+            f"{model} (batch {section['batch']}, "
+            f"{section['stacked_scenarios']} stacked scenarios):",
+            f"  forward          ref {section['reference']['forward_s'] * 1e3:8.1f} ms"
+            f"   fast {section['fast']['forward_s'] * 1e3:8.1f} ms"
+            f"   ({section['speedup_forward']:.2f}x)",
+            f"  stacked forward  ref {section['reference']['stacked_forward_s'] * 1e3:8.1f} ms"
+            f"   fast {section['fast']['stacked_forward_s'] * 1e3:8.1f} ms"
+            f"   ({section['speedup_stacked_forward']:.2f}x)",
+            f"  max |logits diff| {section['max_abs_logits_diff']:.2e} plain, "
+            f"{section['max_abs_stacked_logits_diff']:.2e} stacked "
+            f"(tol {results['tolerances']['forward']:.0e}, "
+            f"ok: {section['equivalent_within_tol']})",
+            "",
+        ]
+    training = results["training"]
+    lines += [
+        f"stacked variant-grid training ({training['model']}, "
+        f"{training['num_variants']} variants, {training['train_samples']} "
+        f"train samples, {training['epochs']} epochs):",
+        f"  reference backend  {training['reference_s']:8.2f} s",
+        f"  fast backend       {training['fast_s']:8.2f} s"
+        f"   ({training['speedup_fast_vs_reference']:.2f}x)",
+        f"  max |accuracy diff|   {training['max_abs_accuracy_diff']:.2e}"
+        f"  (tol {results['tolerances']['accuracy']:.0e})",
+        f"  max |weight diff|     {training['max_abs_weight_diff']:.2e}"
+        f"  (tol {results['tolerances']['weight']:.0e})",
+        "",
+        f"headline speedup (fast vs reference): {results['speedup']:.2f}x",
+        f"equivalent within tolerance: {results['equivalent_within_tol']}",
+    ]
+    return "\n".join(lines)

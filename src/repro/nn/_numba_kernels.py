@@ -1,0 +1,63 @@
+"""Optional numba-jitted kernels for the ``fast`` compute backend.
+
+numba is not a dependency of this project; when it is absent (or fails to
+import for any reason) ``NUMBA_AVAILABLE`` is ``False`` and the ``fast``
+backend silently keeps its pure-NumPy implementations.  Nothing here may be
+imported unconditionally by other modules — always gate on
+``NUMBA_AVAILABLE``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+except Exception:  # pragma: no cover - the expected path in slim images
+    _numba = None
+
+NUMBA_AVAILABLE = _numba is not None
+
+
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised only where numba is installed
+
+    @_numba.njit(cache=True)
+    def window_max_nonoverlap(x: np.ndarray, kernel: int) -> np.ndarray:
+        """Non-overlapping window max over an NCHW tensor (stride == kernel)."""
+        batch, channels, height, width = x.shape
+        out_h = height // kernel
+        out_w = width // kernel
+        out = np.empty((batch, channels, out_h, out_w), dtype=x.dtype)
+        for n in range(batch):
+            for c in range(channels):
+                for oy in range(out_h):
+                    for ox in range(out_w):
+                        best = x[n, c, oy * kernel, ox * kernel]
+                        for ky in range(kernel):
+                            for kx in range(kernel):
+                                value = x[n, c, oy * kernel + ky, ox * kernel + kx]
+                                if value > best:
+                                    best = value
+                        out[n, c, oy, ox] = best
+        return out
+
+    @_numba.njit(cache=True)
+    def scale_rows_inplace(
+        magnitudes: np.ndarray, rows: np.ndarray, scales: np.ndarray
+    ) -> None:
+        """In-place ``magnitudes[rows[r]] *= scales[r]`` row multiply."""
+        width = magnitudes.shape[1]
+        for r in range(rows.shape[0]):
+            row = rows[r]
+            for i in range(width):
+                magnitudes[row, i] = magnitudes[row, i] * scales[r, i]
+
+else:
+
+    def window_max_nonoverlap(x: np.ndarray, kernel: int) -> np.ndarray:
+        raise RuntimeError("numba is not available; gate on NUMBA_AVAILABLE")
+
+    def scale_rows_inplace(
+        magnitudes: np.ndarray, rows: np.ndarray, scales: np.ndarray
+    ) -> None:
+        raise RuntimeError("numba is not available; gate on NUMBA_AVAILABLE")

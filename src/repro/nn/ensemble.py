@@ -46,7 +46,12 @@ __all__ = [
 
 
 @contextmanager
-def stacked_state(model: Module, stacked: dict[str, np.ndarray]):
+def stacked_state(
+    model: Module,
+    stacked: dict[str, np.ndarray],
+    backend: str | None = None,
+    threads: int | None = None,
+):
     """Temporarily attach a stacked per-scenario state to ``model``.
 
     Usage::
@@ -54,10 +59,20 @@ def stacked_state(model: Module, stacked: dict[str, np.ndarray]):
         with stacked_state(model, corrupted_state_batch(model, mapping, outcomes)):
             logits = model(images)          # (S, N, num_classes)
         # ordinary single-weight forward restored here
+
+    ``backend``/``threads`` select the compute backend the stacked forwards
+    dispatch to for the duration of the context (see
+    :mod:`repro.nn.backend`); ``None`` keeps the ambient selection.
     """
+    from repro.nn.backend import use_backend
+
     model.load_stacked_state(stacked)
     try:
-        yield model
+        if backend or threads:
+            with use_backend(backend, threads):
+                yield model
+        else:
+            yield model
     finally:
         model.clear_stacked_state()
 

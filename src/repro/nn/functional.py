@@ -107,17 +107,27 @@ def relu(x: np.ndarray) -> np.ndarray:
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Elementwise logistic sigmoid (stable for large ``|x|``)."""
-    out = np.empty_like(x, dtype=np.float64)
+    """Elementwise logistic sigmoid (stable for large ``|x|``).
+
+    Computed directly in the input's floating dtype — no float64 temporary
+    and no cast-back copy.
+    """
+    dtype = x.dtype if np.issubdtype(x.dtype, np.floating) else np.float64
+    out = np.empty_like(x, dtype=dtype)
     positive = x >= 0
+    negative = ~positive
     out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
-    exp_x = np.exp(x[~positive])
-    out[~positive] = exp_x / (1.0 + exp_x)
-    return out.astype(x.dtype, copy=False)
+    exp_x = np.exp(x[negative])
+    out[negative] = exp_x / (1.0 + exp_x)
+    return out
 
 
 def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
-    """One-hot encode integer labels."""
+    """One-hot encode integer labels as a float32 ``(N, num_classes)`` matrix.
+
+    The single one-hot encoder in the package; the losses build their
+    (optionally label-smoothed) targets on top of it.
+    """
     encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float32)
     encoded[np.arange(labels.shape[0]), labels] = 1.0
     return encoded

@@ -13,7 +13,7 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.nn.functional import log_softmax, softmax
+from repro.nn.functional import log_softmax, one_hot, softmax
 from repro.nn.tensor import Parameter
 
 __all__ = ["CrossEntropyLoss", "StackedCrossEntropyLoss", "l2_penalty", "stacked_l2_penalty"]
@@ -24,8 +24,7 @@ def _smoothed_targets(
 ) -> np.ndarray:
     """One-hot (optionally label-smoothed) targets of shape ``(N, classes)``."""
     num_classes = logits_shape[-1]
-    target = np.zeros((labels.shape[0], num_classes), dtype=np.float32)
-    target[np.arange(labels.shape[0]), labels] = 1.0
+    target = one_hot(labels, num_classes)
     if label_smoothing > 0:
         target = target * (1.0 - label_smoothing) + label_smoothing / num_classes
     return target

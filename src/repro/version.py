@@ -1,3 +1,3 @@
 """Package version."""
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"

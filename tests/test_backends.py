@@ -1,0 +1,440 @@
+"""Compute-backend registry, fast-vs-reference agreement and cache keying.
+
+The reference backend *is* the historical code path, so reference-mode runs
+must stay bit-identical to pre-backend behaviour (the rest of the suite
+enforces that implicitly).  The fast backend is tolerance-tested against it:
+kernel-level properties (hypothesis), layer forwards, full training runs and
+attacked inference across attack kinds.  The engine-facing contract — the
+backend selection landing in run provenance and changing the result-cache
+fingerprint — is regression-tested at the bottom.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import functional as F
+from repro.nn.backend import (
+    ComputeBackend,
+    active_backend,
+    backend_provenance,
+    cache_environment,
+    get_backend,
+    register_backend,
+    registered_backends,
+    resolve_backend_name,
+    resolve_threads,
+    use_backend,
+)
+
+_settings = settings(max_examples=40, deadline=None)
+
+
+# ---------------------------------------------------------------- registry
+class TestRegistry:
+    def test_both_backends_registered(self):
+        assert registered_backends() == ("fast", "reference")
+
+    def test_default_is_reference(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NN_BACKEND", raising=False)
+        assert resolve_backend_name() == "reference"
+        assert active_backend().name == "reference"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown compute backend"):
+            get_backend("nope")
+        with pytest.raises(ValueError):
+            with use_backend("nope"):
+                pass  # pragma: no cover — raises before entering
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NN_BACKEND", "fast")
+        assert resolve_backend_name() == "fast"
+        assert active_backend().name == "fast"
+
+    def test_use_backend_nests_and_restores(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NN_BACKEND", raising=False)
+        with use_backend("fast"):
+            assert active_backend().name == "fast"
+            with use_backend("reference"):
+                assert active_backend().name == "reference"
+            assert active_backend().name == "fast"
+        assert active_backend().name == "reference"
+
+    def test_context_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NN_BACKEND", "fast")
+        with use_backend("reference"):
+            assert active_backend().name == "reference"
+
+    def test_register_backend_rejects_collisions(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_backend
+            class Duplicate(ComputeBackend):  # noqa: F841
+                name = "reference"
+
+    def test_resolve_threads_precedence(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NN_THREADS", "3")
+        assert resolve_threads() == 3
+        assert resolve_threads(5) == 5
+        with use_backend(None, 2):
+            assert resolve_threads() == 2
+        monkeypatch.delenv("REPRO_NN_THREADS")
+        assert resolve_threads() >= 1
+
+    def test_describe_reports_identity(self):
+        info = get_backend("fast").describe()
+        assert info["backend"] == "fast"
+        assert "numba" in info
+
+
+# ---------------------------------------------------- kernel-level properties
+class TestKernelProperties:
+    @_settings
+    @given(
+        batch=st.integers(1, 3),
+        channels=st.integers(1, 4),
+        size=st.integers(4, 12),
+        kernel=st.integers(1, 3),
+        stride=st.integers(1, 2),
+        padding=st.integers(0, 1),
+    )
+    def test_im2col_matches_reference(
+        self, batch, channels, size, kernel, stride, padding
+    ):
+        rng = np.random.default_rng(batch * 100 + size)
+        x = rng.normal(size=(batch, channels, size, size)).astype(np.float32)
+        ref, oh, ow = F.im2col(x, kernel, kernel, stride, padding)
+        fast = get_backend("fast")
+        for transient in (False, True):
+            cols, foh, fow = fast.im2col(
+                x, kernel, kernel, stride, padding, transient=transient
+            )
+            assert (foh, fow) == (oh, ow)
+            np.testing.assert_array_equal(cols, ref)
+
+    @_settings
+    @given(
+        lead=st.integers(2, 6),
+        rows=st.integers(1, 16),
+        inner=st.integers(1, 16),
+        cols=st.integers(1, 16),
+    )
+    def test_stacked_matmul_matches_numpy(self, lead, rows, inner, cols):
+        rng = np.random.default_rng(lead * 1000 + rows)
+        a = rng.normal(size=(lead, rows, inner)).astype(np.float32)
+        b = rng.normal(size=(lead, inner, cols)).astype(np.float32)
+        fast = get_backend("fast")
+        np.testing.assert_allclose(
+            fast.stacked_matmul(a, b), np.matmul(a, b), rtol=1e-5, atol=1e-5
+        )
+        # Broadcast slabs (fused single-GEMM paths).
+        np.testing.assert_allclose(
+            fast.stacked_matmul(a, b[:1]), np.matmul(a, b[:1]), rtol=1e-5, atol=1e-5
+        )
+        shared = fast.stacked_matmul(a[:1], b)
+        np.testing.assert_allclose(shared, np.matmul(a[:1], b), rtol=1e-5, atol=1e-5)
+        assert shared.flags.c_contiguous
+
+    def test_threaded_stacked_matmul_above_work_floor(self):
+        fast = get_backend("fast")
+        rng = np.random.default_rng(7)
+        # 6 * 128 * 64 * 64 = 3.1M elements of work >= MIN_THREADED_WORK.
+        a = rng.normal(size=(6, 128, 64)).astype(np.float32)
+        b = rng.normal(size=(6, 64, 64)).astype(np.float32)
+        assert 6 * 128 * 64 * 64 >= fast.MIN_THREADED_WORK
+        with use_backend("fast", 2):
+            out = active_backend().stacked_matmul(a, b)
+        # Chunked per-slab np.matmul is bit-identical to the one-shot form.
+        np.testing.assert_array_equal(out, np.matmul(a, b))
+
+    def test_window_max_matches_reference(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        np.testing.assert_array_equal(
+            get_backend("fast").window_max(x, 2),
+            get_backend("reference").window_max(x, 2),
+        )
+
+    def test_stacked_moments_within_tolerance(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(5, 8, 3, 6, 6)).astype(np.float32)
+        ref_mean, ref_var = get_backend("reference").stacked_moments(x)
+        fast_mean, fast_var = get_backend("fast").stacked_moments(x)
+        np.testing.assert_allclose(fast_mean, ref_mean, rtol=1e-5, atol=1e-6)
+        np.testing.assert_allclose(fast_var, ref_var, rtol=1e-4, atol=1e-6)
+
+    def test_scale_rows_matches_reference(self):
+        rng = np.random.default_rng(5)
+        for backend in ("reference", "fast"):
+            magnitudes = rng.normal(size=(6, 9)).astype(np.float64)
+            expected = magnitudes.copy()
+            scales = rng.uniform(0.5, 1.5, size=(2, 9))
+            expected[[1, 4]] *= scales
+            get_backend(backend).scale_rows(magnitudes, [1, 4], scales)
+            np.testing.assert_array_equal(magnitudes, expected)
+
+    def test_transient_workspace_is_reused(self):
+        fast = get_backend("fast")
+        fast.release_workspaces()
+        x = np.random.default_rng(0).normal(size=(2, 3, 10, 10)).astype(np.float32)
+        first, _, _ = fast.im2col(x, 3, 3, 1, 0, transient=True)
+        second, _, _ = fast.im2col(x, 3, 3, 1, 0, transient=True)
+        assert np.shares_memory(first, second)
+        # Non-transient patch matrices must never alias the workspace.
+        cached, _, _ = fast.im2col(x, 3, 3, 1, 0, transient=False)
+        third, _, _ = fast.im2col(x, 3, 3, 1, 0, transient=True)
+        assert not np.shares_memory(cached, third)
+        fast.release_workspaces()
+
+
+# ------------------------------------------------------- satellite regressions
+class TestFunctionalSatellites:
+    def test_sigmoid_preserves_float_dtype(self):
+        x = np.linspace(-30, 30, 61).astype(np.float32)
+        out = F.sigmoid(x)
+        assert out.dtype == np.float32
+        expected = 1.0 / (1.0 + np.exp(-x.astype(np.float64)))
+        np.testing.assert_allclose(out, expected, rtol=1e-5, atol=1e-6)
+        assert F.sigmoid(np.array([0, 1, 2])).dtype == np.float64
+
+    def test_smoothed_targets_use_canonical_one_hot(self):
+        from repro.nn.losses import _smoothed_targets
+
+        labels = np.array([0, 2, 1])
+        np.testing.assert_array_equal(
+            _smoothed_targets((3, 3), labels, 0.0), F.one_hot(labels, 3)
+        )
+        smoothed = _smoothed_targets((3, 4), labels, 0.1)
+        np.testing.assert_allclose(smoothed.sum(axis=1), 1.0, rtol=1e-6)
+        assert smoothed.min() > 0
+
+
+# --------------------------------------------------- model-level equivalence
+def _train_small_model(backend: str, split, epochs: int = 1):
+    from repro.nn.models.registry import build_model
+    from repro.nn.training import Trainer, TrainingConfig
+
+    model = build_model("cnn_mnist", profile="scaled", rng=0)
+    config = TrainingConfig(epochs=epochs, batch_size=32, lr=2e-3, seed=0)
+    Trainer(model, config, backend=backend).fit(split.train)
+    return model
+
+
+class TestModelEquivalence:
+    def test_forward_agreement(self, trained_mnist_model, mnist_split):
+        from repro.datasets import DataLoader
+
+        images, _ = next(iter(DataLoader(mnist_split.test, batch_size=32)))
+        trained_mnist_model.eval()
+        with use_backend("reference"):
+            ref = trained_mnist_model(images)
+        with use_backend("fast"):
+            fast = trained_mnist_model(images)
+        np.testing.assert_allclose(fast, ref, rtol=1e-5, atol=1e-5)
+
+    def test_training_agreement(self, mnist_split):
+        ref = _train_small_model("reference", mnist_split)
+        fast = _train_small_model("fast", mnist_split)
+        state_ref, state_fast = ref.full_state_dict(), fast.full_state_dict()
+        for key in state_ref:
+            np.testing.assert_allclose(
+                state_fast[key], state_ref[key], rtol=1e-4, atol=5e-4,
+                err_msg=f"backend weight drift in {key}",
+            )
+
+    def test_stacked_training_agreement(self, mnist_split):
+        from repro.mitigation import (
+            L2Config,
+            NoiseAwareConfig,
+            VariantSpec,
+            train_variant_grid_stacked,
+        )
+        from repro.nn.training import TrainingConfig
+
+        config = TrainingConfig(epochs=1, batch_size=32, lr=2e-3, seed=0)
+        variants = (
+            VariantSpec(name="Original"),
+            VariantSpec(name="l2+n2", l2=L2Config(), noise=NoiseAwareConfig(std=0.2)),
+        )
+        results = {}
+        for backend in ("reference", "fast"):
+            with use_backend(backend):
+                results[backend] = train_variant_grid_stacked(
+                    "cnn_mnist", mnist_split, config, variants=list(variants)
+                )
+        for a, b in zip(results["reference"], results["fast"]):
+            assert abs(a.baseline_accuracy - b.baseline_accuracy) <= 0.02
+            state_a, state_b = a.model.full_state_dict(), b.model.full_state_dict()
+            for key in state_a:
+                np.testing.assert_allclose(
+                    state_b[key], state_a[key], rtol=1e-4, atol=5e-4
+                )
+
+    def test_attacked_inference_agreement_across_kinds(
+        self, trained_mnist_model, mnist_split, scaled_accelerator_config
+    ):
+        """Stacked attacked inference matches across backends for both paper kinds."""
+        from repro.accelerator.inference import AttackedInferenceEngine
+        from repro.attacks.hotspot import HotspotAttackConfig
+        from repro.attacks.scenario import generate_scenarios, sample_outcome
+
+        scenarios = generate_scenarios(
+            kinds=("actuation", "hotspot"),
+            blocks=("both",),
+            fractions=(0.05,),
+            num_placements=2,
+            master_seed=0,
+        )
+        outcomes = [
+            sample_outcome(s, scaled_accelerator_config, HotspotAttackConfig())
+            for s in scenarios
+        ]
+        accuracies = {}
+        for backend in ("reference", "fast"):
+            engine = AttackedInferenceEngine(
+                trained_mnist_model,
+                config=scaled_accelerator_config,
+                backend=backend,
+            )
+            accuracies[backend] = engine.accuracy_under_attacks(
+                mnist_split.test, outcomes
+            )
+        np.testing.assert_allclose(
+            accuracies["fast"], accuracies["reference"], atol=0.02
+        )
+
+
+# ------------------------------------------------- engine provenance + cache
+def _probe_descriptor():
+    from repro.analysis.experiments import ExperimentDescriptor, _backend_aware
+
+    def runner(seed: int = 0) -> dict:
+        return {
+            "backend": active_backend().name,
+            "threads": resolve_threads(),
+        }
+
+    return ExperimentDescriptor(
+        experiment_id="_backend_probe",
+        title="backend probe",
+        paper_reference="tests",
+        modules=("repro.nn.backend",),
+        bench_target="benchmarks/bench_backends.py",
+        runner=_backend_aware(runner),
+        default_params={"seed": 0, "nn_backend": "", "nn_threads": 0},
+    )
+
+
+class TestEngineIntegration:
+    def test_execute_run_applies_and_records_backend(self, monkeypatch):
+        from repro.analysis.experiments import EXPERIMENTS
+        from repro.engine.executor import execute_run
+        from repro.engine.spec import RunSpec
+
+        monkeypatch.setitem(EXPERIMENTS, "_backend_probe", _probe_descriptor())
+        spec = RunSpec(
+            experiment_id="_backend_probe",
+            params={"nn_backend": "fast", "nn_threads": 2},
+        )
+        record = execute_run(spec)
+        assert record.ok, record.error
+        assert record.payload["backend"] == "fast"
+        assert record.payload["threads"] == 2
+        assert record.provenance["nn_backend"] == "fast"
+        assert record.provenance["nn_threads"] == 2
+
+    def test_execute_run_defaults_to_reference(self, monkeypatch):
+        from repro.analysis.experiments import EXPERIMENTS
+        from repro.engine.executor import execute_run
+        from repro.engine.spec import RunSpec
+
+        monkeypatch.delenv("REPRO_NN_BACKEND", raising=False)
+        monkeypatch.setitem(EXPERIMENTS, "_backend_probe", _probe_descriptor())
+        record = execute_run(RunSpec(experiment_id="_backend_probe"))
+        assert record.ok, record.error
+        assert record.payload["backend"] == "reference"
+        assert record.provenance["nn_backend"] == "reference"
+
+    def test_cache_environment_empty_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NN_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_NN_THREADS", raising=False)
+        assert cache_environment() == {}
+
+    def test_fingerprint_changes_with_backend_env(self, monkeypatch):
+        from repro.engine.spec import RunSpec, spec_fingerprint
+
+        spec = RunSpec(experiment_id="fig7_point")
+        monkeypatch.delenv("REPRO_NN_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_NN_THREADS", raising=False)
+        default = spec_fingerprint(spec, "1.0")
+        # The default environment contributes nothing, preserving pre-backend
+        # fingerprints (and therefore existing caches).
+        assert default == spec_fingerprint(spec, "1.0", environment={})
+        monkeypatch.setenv("REPRO_NN_BACKEND", "fast")
+        assert spec_fingerprint(spec, "1.0") != default
+        monkeypatch.delenv("REPRO_NN_BACKEND")
+        monkeypatch.setenv("REPRO_NN_THREADS", "4")
+        assert spec_fingerprint(spec, "1.0") != default
+
+    def test_fingerprint_changes_with_backend_param(self):
+        from repro.engine.spec import RunSpec, spec_fingerprint
+
+        base = RunSpec(experiment_id="fig7_point", params={"nn_backend": ""})
+        fast = RunSpec(experiment_id="fig7_point", params={"nn_backend": "fast"})
+        assert spec_fingerprint(base, "1.0") != spec_fingerprint(fast, "1.0")
+
+    def test_backend_provenance_resolves_ambient(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NN_BACKEND", raising=False)
+        assert backend_provenance(None, None)["nn_backend"] == "reference"
+        assert backend_provenance("fast", 3) == {
+            "nn_backend": "fast",
+            "nn_threads": 3,
+        }
+
+    def test_experiment_registry_accepts_backend_params(self):
+        from repro.analysis.experiments import EXPERIMENTS
+
+        for experiment_id in (
+            "fig7", "fig7_point", "fig7_grid", "fig7_candidate",
+            "fig7_adversarial", "fig8", "fig8_variant", "fig9",
+            "ablation_mitigation",
+        ):
+            params = EXPERIMENTS[experiment_id].default_params
+            assert params["nn_backend"] == ""
+            assert params["nn_threads"] == 0
+
+    def test_cli_rejects_unknown_backend(self, capsys):
+        from repro.engine.cli import main
+
+        assert main(["bench", "--backend", "bogus"]) == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_cli_exports_backend_env(self, monkeypatch):
+        from repro.engine import cli
+
+        # setenv (not delenv) so teardown restores even though the CLI code
+        # writes os.environ directly.
+        monkeypatch.setenv("REPRO_NN_BACKEND", "")
+        monkeypatch.setenv("REPRO_NN_THREADS", "")
+
+        class Args:
+            backend = "fast"
+            threads = 2
+
+        assert cli._apply_backend_selection(Args()) == 0
+        import os
+
+        assert os.environ["REPRO_NN_BACKEND"] == "fast"
+        assert os.environ["REPRO_NN_THREADS"] == "2"
+
+    def test_stacked_state_backend_hook(self, trained_mnist_model):
+        from repro.nn.ensemble import stack_state_dicts, stacked_state
+
+        state = trained_mnist_model.state_dict()
+        stacked = stack_state_dicts([state, state])
+        with stacked_state(trained_mnist_model, stacked, backend="fast"):
+            assert active_backend().name == "fast"
+        assert active_backend().name == "reference"
